@@ -1,0 +1,91 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* Closed-Division optimizations: how much do cancellation/merging reduce the
+  compiled two-qubit gate count and depth?
+* Idle-during-readout noise: how much of the error-correction benchmarks' low
+  score is attributable to data qubits decohering during mid-circuit
+  measurement and reset (the paper's Sec. VI explanation)?
+* Placement strategy: noise-aware vs. trivial placement SWAP overhead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import BitCodeBenchmark, GHZBenchmark, VanillaQAOABenchmark
+from repro.devices import get_device
+from repro.simulation import StatevectorSimulator
+from repro.transpiler import transpile
+
+
+def test_ablation_closed_division_optimizations(benchmark, capsys):
+    """Optimization level 2 must not increase the compiled two-qubit gate count."""
+    device = get_device("IBM-Guadalupe-16Q")
+    circuit = VanillaQAOABenchmark(5, seed=0).circuit()
+
+    def compile_both():
+        raw = transpile(circuit, device, optimization_level=0)
+        optimized = transpile(circuit, device, optimization_level=2)
+        return raw, optimized
+
+    raw, optimized = benchmark(compile_both)
+    assert optimized.two_qubit_gate_count() <= raw.two_qubit_gate_count()
+    assert optimized.circuit.num_gates() <= raw.circuit.num_gates()
+    with capsys.disabled():
+        print(
+            f"\n[ablation] closed-division optimizations: "
+            f"2q gates {raw.two_qubit_gate_count()} -> {optimized.two_qubit_gate_count()}, "
+            f"total gates {raw.circuit.num_gates()} -> {optimized.circuit.num_gates()}"
+        )
+
+
+def test_ablation_idle_during_readout(benchmark, capsys):
+    """Disabling readout-idle decoherence must raise the bit-code score."""
+    device = get_device("IBM-Toronto-27Q")
+    bench = BitCodeBenchmark(3, 3)
+    transpiled = transpile(bench.circuits()[0], device)
+    compact, physical = transpiled.compact()
+
+    def run(idle):
+        model = device.noise_model(physical)
+        model.idle_during_readout = idle
+        simulator = StatevectorSimulator(model, seed=42, trajectories=40)
+        counts = simulator.run(compact, shots=200)
+        return bench.score([counts])
+
+    def run_both():
+        return run(True), run(False)
+
+    with_idle, without_idle = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert without_idle > with_idle
+    with capsys.disabled():
+        print(
+            f"\n[ablation] bit-code score on IBM-Toronto: with readout idling "
+            f"{with_idle:.3f}, without {without_idle:.3f}"
+        )
+
+
+def test_ablation_placement_strategy(benchmark, capsys):
+    """Noise-aware placement should not need more SWAPs than trivial placement."""
+    device = get_device("IBM-Guadalupe-16Q")
+    circuit = GHZBenchmark(7).circuits()[0]
+
+    def compile_both():
+        trivial = transpile(circuit, device, placement="trivial")
+        noise_aware = transpile(circuit, device, placement="noise_aware")
+        return trivial, noise_aware
+
+    trivial, noise_aware = benchmark(compile_both)
+    assert noise_aware.swap_count <= trivial.swap_count
+    with capsys.disabled():
+        print(
+            f"\n[ablation] GHZ-7 on Guadalupe: trivial placement {trivial.swap_count} swaps, "
+            f"noise-aware {noise_aware.swap_count} swaps"
+        )
+
+
+def test_simulator_scaling(benchmark):
+    """Statevector simulation of a 12-qubit GHZ circuit stays fast (substrate check)."""
+    circuit = GHZBenchmark(12).circuits()[0]
+    simulator = StatevectorSimulator(seed=0)
+    counts = benchmark(lambda: simulator.run(circuit, shots=200))
+    assert set(counts) == {"0" * 12, "1" * 12}

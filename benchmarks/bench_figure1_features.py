@@ -1,0 +1,27 @@
+"""Figure 1 — feature maps of the eight benchmark applications.
+
+Regenerates the per-benchmark feature vectors shown as radar plots in the
+paper's Fig. 1 and benchmarks how long the structural analysis takes.
+"""
+
+import pytest
+
+from repro.experiments import render_figure1, reproduce_figure1
+from repro.features import FEATURE_NAMES
+
+
+def test_figure1_feature_maps(benchmark, capsys):
+    rows = benchmark(reproduce_figure1)
+    assert len(rows) == 8
+    for row in rows:
+        for name in FEATURE_NAMES:
+            assert 0.0 <= row[name] <= 1.0
+    # Qualitative shapes from the paper's Fig. 1.
+    by_name = {row["benchmark"]: row for row in rows}
+    assert by_name["ghz[3q]"]["critical_depth"] == pytest.approx(1.0)
+    assert by_name["vanilla_qaoa[3q]"]["program_communication"] == pytest.approx(1.0)
+    assert by_name["bit_code[3d,1r]"]["measurement"] > 0.0
+    assert by_name["phase_code[3d,1r]"]["measurement"] > 0.0
+    with capsys.disabled():
+        print("\n=== Figure 1: benchmark feature vectors ===")
+        print(render_figure1())

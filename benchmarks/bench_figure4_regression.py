@@ -1,0 +1,22 @@
+"""Figure 4 — entanglement-ratio vs. score regression, with and without EC."""
+
+import pytest
+
+from repro.experiments import render_figure4, reproduce_figure4
+
+
+def test_figure4_entanglement_ratio_regression(benchmark, figure2_runs, capsys):
+    result = benchmark.pedantic(
+        reproduce_figure4,
+        args=(figure2_runs,),
+        kwargs={"device": "IBM-Toronto-27Q"},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.device == "IBM-Toronto-27Q"
+    assert len(result.points) >= 3
+    assert 0.0 <= result.fit_with_ec.r_squared <= 1.0
+    assert 0.0 <= result.fit_without_ec.r_squared <= 1.0
+    with capsys.disabled():
+        print("\n=== Figure 4: entanglement-ratio regression (IBM-Toronto-27Q) ===")
+        print(render_figure4(result))

@@ -1,0 +1,33 @@
+"""Table I — coverage (convex-hull volume) comparison of benchmark suites.
+
+Uses a reduced maximum circuit width (100 qubits instead of 1000) and a
+reduced CBG2021 proxy corpus so the harness completes quickly; the relative
+ordering is unchanged.
+"""
+
+import pytest
+
+from repro.experiments import render_table1, reproduce_table1
+
+
+def test_table1_coverage(benchmark, capsys):
+    rows = benchmark.pedantic(
+        reproduce_table1, kwargs={"max_size": 100, "cbg_instances": 200}, rounds=1, iterations=1
+    )
+    volumes = {row["suite"]: row["volume"] for row in rows}
+    circuits = {row["suite"]: row["circuits"] for row in rows}
+
+    # The scalable, realistic suite dominates the fixed-size suites by orders
+    # of magnitude, as in the paper.
+    assert volumes["SupermarQ"] > 100 * volumes["TriQ"]
+    assert volumes["SupermarQ"] > 100 * volumes["PPL+2020"]
+    assert volumes["SupermarQ"] > 100 * volumes["CBG2021"]
+    # The synthetic suite is exactly the unit simplex (1/6!).
+    assert volumes["Synthetic"] == pytest.approx(1.0 / 720.0, rel=1e-6)
+    # Small suites contain few circuits yet add almost no coverage.
+    assert circuits["TriQ"] == 12
+    assert circuits["PPL+2020"] == 9
+
+    with capsys.disabled():
+        print("\n=== Table I: suite coverage (measured vs paper) ===")
+        print(render_table1(max_size=100, cbg_instances=200))

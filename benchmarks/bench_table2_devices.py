@@ -1,0 +1,30 @@
+"""Table II — characteristics of the evaluated QPU models."""
+
+import pytest
+
+from repro.devices import all_devices
+from repro.experiments import render_table2, reproduce_table2
+
+
+def test_table2_device_characteristics(benchmark, capsys):
+    rows = benchmark(reproduce_table2)
+    assert len(rows) == 9
+    by_name = {row["machine"]: row for row in rows}
+    # Spot-check values quoted directly from the paper's Table II.
+    assert by_name["IBM-Casablanca-7Q"]["t1_us"] == pytest.approx(91.21)
+    assert by_name["IBM-Montreal-27Q"]["error_2q_pct"] == pytest.approx(1.76)
+    assert by_name["IonQ-11Q"]["topology"] == "all-to-all"
+    assert by_name["AQT-4Q"]["readout_time_us"] == pytest.approx(1.02)
+    with capsys.disabled():
+        print("\n=== Table II: device characteristics ===")
+        print(render_table2())
+
+
+def test_table2_noise_models_buildable(benchmark):
+    """Every device calibration must produce a valid noise model."""
+
+    def build_all():
+        return [device.noise_model() for device in all_devices()]
+
+    models = benchmark(build_all)
+    assert len(models) == 9

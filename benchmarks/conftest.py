@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+The Fig. 2 sweep is the expensive part of the reproduction, so it is run once
+per session at a reduced-but-representative configuration and shared by the
+Fig. 2 / Fig. 3 / Fig. 4 benchmark targets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import reproduce_figure2
+
+#: Devices used by the reduced sweep: one small superconducting device, one
+#: large (noisier) superconducting device and the all-to-all trapped-ion model.
+SWEEP_DEVICES = ["IBM-Casablanca-7Q", "IBM-Toronto-27Q", "IonQ-11Q"]
+
+
+@pytest.fixture(scope="session")
+def figure2_runs():
+    """Reduced Fig. 2 sweep shared by the figure benchmarks."""
+    return reproduce_figure2(
+        devices=SWEEP_DEVICES,
+        small=True,
+        shots=150,
+        repetitions=2,
+        trajectories=30,
+        seed=2022,
+    )

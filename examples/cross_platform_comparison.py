@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Cross-platform comparison: a mini version of the paper's Fig. 2 + Fig. 3.
+
+Runs a handful of benchmark instances on three device models (two
+superconducting, one trapped-ion), prints the score table, and then computes
+the per-device correlation between the application features and the scores.
+
+Run with:  python examples/cross_platform_comparison.py
+(The full nine-device sweep is available via repro.experiments.reproduce_figure2.)
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks import (
+    BitCodeBenchmark,
+    GHZBenchmark,
+    HamiltonianSimulationBenchmark,
+    VanillaQAOABenchmark,
+)
+from repro.devices import get_device
+from repro.experiments import (
+    render_figure2,
+    render_figure3,
+    run_benchmark_on_device,
+)
+from repro.exceptions import DeviceError
+
+DEVICES = ["IBM-Casablanca-7Q", "IBM-Toronto-27Q", "IonQ-11Q"]
+BENCHMARKS = [
+    GHZBenchmark(3),
+    GHZBenchmark(7),
+    BitCodeBenchmark(3, 2),
+    VanillaQAOABenchmark(4, seed=0),
+    HamiltonianSimulationBenchmark(4, steps=1),
+]
+
+
+def main() -> None:
+    runs = []
+    for device_name in DEVICES:
+        device = get_device(device_name)
+        for benchmark in BENCHMARKS:
+            try:
+                run = run_benchmark_on_device(
+                    benchmark, device, shots=200, repetitions=2, trajectories=40, seed=7
+                )
+            except DeviceError:
+                print(f"  [skip] {benchmark} does not fit on {device.name}")
+                continue
+            runs.append(run)
+            print(
+                f"  {str(benchmark):<28s} on {device.name:<20s} "
+                f"score = {run.mean_score:.3f} ± {run.std_score:.3f} "
+                f"(swaps={run.swap_count})"
+            )
+
+    print("\n=== Score table (mini Fig. 2) ===")
+    print(render_figure2(runs))
+
+    print("\n=== Feature/performance correlation (mini Fig. 3a) ===")
+    print(render_figure3(runs, include_error_correction=True))
+
+    print("\n=== Excluding error-correction benchmarks (mini Fig. 3b) ===")
+    print(render_figure3(runs, include_error_correction=False))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Feature maps and suite coverage: the paper's Fig. 1 and Table I.
+
+Prints the six-dimensional feature vector of each benchmark family (including
+how the features evolve as the instances scale up) and the convex-hull
+coverage volume of the different benchmark suites.
+
+Run with:  python examples/feature_maps.py
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks import (
+    BitCodeBenchmark,
+    GHZBenchmark,
+    HamiltonianSimulationBenchmark,
+    MerminBellBenchmark,
+    PhaseCodeBenchmark,
+    VQEBenchmark,
+    VanillaQAOABenchmark,
+    ZZSwapQAOABenchmark,
+)
+from repro.experiments import render_figure1, render_table1
+from repro.features import FEATURE_NAMES
+
+
+def main() -> None:
+    print("=== Figure 1: representative feature maps ===")
+    print(render_figure1())
+
+    print("\n=== Feature scaling with benchmark size ===")
+    header = "benchmark".ljust(28) + "  " + "  ".join(name[:6].rjust(6) for name in FEATURE_NAMES)
+    print(header)
+    for family, sizes in (
+        (GHZBenchmark, (3, 10, 50)),
+        (VanillaQAOABenchmark, (3, 6, 10)),
+        (ZZSwapQAOABenchmark, (3, 6, 10)),
+        (HamiltonianSimulationBenchmark, (3, 10, 50)),
+    ):
+        for size in sizes:
+            benchmark = family(size)
+            vector = benchmark.features().as_array()
+            row = "  ".join(f"{value:6.3f}" for value in vector)
+            print(f"{str(benchmark):<28s}  {row}")
+    for benchmark in (
+        MerminBellBenchmark(4),
+        BitCodeBenchmark(5, 3),
+        PhaseCodeBenchmark(5, 3),
+        VQEBenchmark(6, 2),
+    ):
+        vector = benchmark.features().as_array()
+        row = "  ".join(f"{value:6.3f}" for value in vector)
+        print(f"{str(benchmark):<28s}  {row}")
+
+    print("\n=== Table I: suite coverage (reduced scale, measured vs paper) ===")
+    print(render_table1(max_size=100, cbg_instances=200))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — a from-scratch reproduction of SupermarQ (HPCA 2022).
+
+The package provides:
+
+* :mod:`repro.circuits` — a quantum circuit IR with OpenQASM 2.0 round trip.
+* :mod:`repro.simulation` — statevector / density-matrix simulators and
+  calibration-derived noise models.
+* :mod:`repro.devices` — the nine QPU models of the paper's Table II.
+* :mod:`repro.transpiler` — basis translation, placement, routing and the
+  Closed-Division optimizations.
+* :mod:`repro.features` — the six SupermarQ application features.
+* :mod:`repro.benchmarks` — the eight benchmark applications with their
+  circuit generators and score functions.
+* :mod:`repro.coverage` — the feature-space coverage analysis of Table I.
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+"""
+
+from . import (
+    analysis,
+    benchmarks,
+    circuits,
+    coverage,
+    devices,
+    experiments,
+    features,
+    hamiltonians,
+    optimize,
+    paulis,
+    simulation,
+    transpiler,
+)
+from .benchmarks import (
+    Benchmark,
+    BitCodeBenchmark,
+    GHZBenchmark,
+    HamiltonianSimulationBenchmark,
+    MerminBellBenchmark,
+    PhaseCodeBenchmark,
+    VQEBenchmark,
+    VanillaQAOABenchmark,
+    ZZSwapQAOABenchmark,
+)
+from .circuits import Circuit
+from .devices import Device, get_device
+from .features import compute_features, feature_vector
+from .simulation import NoiseModel, StatevectorSimulator
+from .transpiler import transpile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Circuit",
+    "Device",
+    "get_device",
+    "NoiseModel",
+    "StatevectorSimulator",
+    "transpile",
+    "compute_features",
+    "feature_vector",
+    "Benchmark",
+    "GHZBenchmark",
+    "MerminBellBenchmark",
+    "BitCodeBenchmark",
+    "PhaseCodeBenchmark",
+    "VanillaQAOABenchmark",
+    "ZZSwapQAOABenchmark",
+    "VQEBenchmark",
+    "HamiltonianSimulationBenchmark",
+    "analysis",
+    "benchmarks",
+    "circuits",
+    "coverage",
+    "devices",
+    "experiments",
+    "features",
+    "hamiltonians",
+    "optimize",
+    "paulis",
+    "simulation",
+    "transpiler",
+]

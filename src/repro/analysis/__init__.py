@@ -1,0 +1,14 @@
+"""Analysis helpers: fidelities and the feature/performance correlation study."""
+
+from .correlation import LinearFit, correlation_matrix, linear_regression, r_squared
+from .fidelity import hellinger_distance, hellinger_fidelity, total_variation_distance
+
+__all__ = [
+    "LinearFit",
+    "linear_regression",
+    "r_squared",
+    "correlation_matrix",
+    "hellinger_fidelity",
+    "hellinger_distance",
+    "total_variation_distance",
+]

@@ -1,0 +1,99 @@
+"""Feature/performance correlation analysis (Figures 3 and 4 of the paper).
+
+For every (device, feature) pair the paper fits an ordinary least-squares
+line of the benchmark scores against the feature values and reports the
+coefficient of determination R².  R² is interpreted as the proportion of the
+variance in that device's performance attributable to the feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+
+__all__ = ["LinearFit", "linear_regression", "r_squared", "correlation_matrix"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a one-dimensional least-squares fit ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    num_points: int
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_regression(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Ordinary least squares fit of ``y`` against ``x`` with R²."""
+    x_array = np.asarray(x, dtype=float)
+    y_array = np.asarray(y, dtype=float)
+    if x_array.shape != y_array.shape or x_array.ndim != 1:
+        raise AnalysisError("x and y must be 1D sequences of equal length")
+    if x_array.size < 2:
+        raise AnalysisError("at least two points are required for a regression")
+    x_mean = x_array.mean()
+    y_mean = y_array.mean()
+    x_var = float(np.sum((x_array - x_mean) ** 2))
+    if x_var < 1e-15:
+        # A constant feature explains none of the variance.
+        return LinearFit(slope=0.0, intercept=float(y_mean), r_squared=0.0, num_points=x_array.size)
+    slope = float(np.sum((x_array - x_mean) * (y_array - y_mean)) / x_var)
+    intercept = float(y_mean - slope * x_mean)
+    predictions = slope * x_array + intercept
+    residual = float(np.sum((y_array - predictions) ** 2))
+    total = float(np.sum((y_array - y_mean) ** 2))
+    if total < 1e-15:
+        r2 = 0.0
+    else:
+        r2 = max(0.0, 1.0 - residual / total)
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r2, num_points=x_array.size)
+
+
+def r_squared(x: Sequence[float], y: Sequence[float]) -> float:
+    """Convenience wrapper returning only the coefficient of determination."""
+    return linear_regression(x, y).r_squared
+
+
+def correlation_matrix(
+    records: Sequence[Mapping[str, float]],
+    feature_names: Sequence[str],
+    group_key: str = "device",
+    score_key: str = "score",
+) -> Dict[str, Dict[str, float]]:
+    """Per-group R² of the score against each feature.
+
+    Args:
+        records: Flat result records, each carrying the group key, the score
+            and one value per feature (e.g. one record per benchmark run).
+        feature_names: The features to regress against.
+        group_key: Field identifying the group (the device, in the paper).
+        score_key: Field holding the benchmark score.
+
+    Returns:
+        ``{group: {feature: r_squared}}`` — the heat-map of Fig. 3.
+    """
+    if not records:
+        raise AnalysisError("no records supplied")
+    grouped: Dict[str, List[Mapping[str, float]]] = {}
+    for record in records:
+        grouped.setdefault(str(record[group_key]), []).append(record)
+    matrix: Dict[str, Dict[str, float]] = {}
+    for group, group_records in grouped.items():
+        row: Dict[str, float] = {}
+        scores = [float(record[score_key]) for record in group_records]
+        for feature in feature_names:
+            values = [float(record[feature]) for record in group_records]
+            if len(values) < 2:
+                row[feature] = 0.0
+            else:
+                row[feature] = r_squared(values, scores)
+        matrix[group] = row
+    return matrix

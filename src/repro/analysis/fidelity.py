@@ -1,0 +1,42 @@
+"""Distribution-comparison metrics used by the benchmark score functions."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+from ..simulation.result import hellinger_fidelity_counts
+
+__all__ = ["hellinger_fidelity", "hellinger_distance", "total_variation_distance"]
+
+
+def hellinger_fidelity(counts_a: Mapping[str, float], counts_b: Mapping[str, float]) -> float:
+    """Hellinger fidelity ``(sum_x sqrt(p(x) q(x)))**2`` between two distributions.
+
+    Accepts raw counts or probabilities; both inputs are normalised first.
+    This is the score function of the GHZ, bit-code and phase-code benchmarks.
+    """
+    return hellinger_fidelity_counts(counts_a, counts_b)
+
+
+def hellinger_distance(counts_a: Mapping[str, float], counts_b: Mapping[str, float]) -> float:
+    """Hellinger distance ``sqrt(1 - sqrt(fidelity))`` in [0, 1]."""
+    fidelity = hellinger_fidelity(counts_a, counts_b)
+    return float(np.sqrt(max(0.0, 1.0 - np.sqrt(fidelity))))
+
+
+def total_variation_distance(
+    counts_a: Mapping[str, float], counts_b: Mapping[str, float]
+) -> float:
+    """Total variation distance between two (possibly unnormalised) distributions."""
+    total_a = float(sum(counts_a.values()))
+    total_b = float(sum(counts_b.values()))
+    if total_a <= 0 or total_b <= 0:
+        raise AnalysisError("cannot compare empty distributions")
+    keys = set(counts_a) | set(counts_b)
+    distance = 0.0
+    for key in keys:
+        distance += abs(counts_a.get(key, 0.0) / total_a - counts_b.get(key, 0.0) / total_b)
+    return 0.5 * distance

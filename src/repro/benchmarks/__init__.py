@@ -1,0 +1,29 @@
+"""The eight SupermarQ benchmark applications (Section IV of the paper)."""
+
+from .base import Benchmark
+from .error_correction import BitCodeBenchmark, PhaseCodeBenchmark
+from .ghz import GHZBenchmark
+from .hamiltonian_simulation import HamiltonianSimulationBenchmark
+from .mermin_bell import MerminBellBenchmark, classical_bound, mermin_operator, quantum_bound
+from .qaoa import VanillaQAOABenchmark, ZZSwapQAOABenchmark
+from .suite import BENCHMARK_FAMILIES, figure2_benchmarks, make_benchmark, scaling_suite
+from .vqe import VQEBenchmark
+
+__all__ = [
+    "Benchmark",
+    "GHZBenchmark",
+    "MerminBellBenchmark",
+    "mermin_operator",
+    "classical_bound",
+    "quantum_bound",
+    "BitCodeBenchmark",
+    "PhaseCodeBenchmark",
+    "VanillaQAOABenchmark",
+    "ZZSwapQAOABenchmark",
+    "VQEBenchmark",
+    "HamiltonianSimulationBenchmark",
+    "BENCHMARK_FAMILIES",
+    "figure2_benchmarks",
+    "scaling_suite",
+    "make_benchmark",
+]

@@ -1,0 +1,77 @@
+"""Common interface of the SupermarQ benchmark applications.
+
+Every benchmark provides two things (Section IV of the paper):
+
+* a *circuit generator* — one or more OpenQASM-expressible circuits whose
+  size is parameterised so the benchmark scales from NISQ to FT machines, and
+* a *score function* — an application-level metric in [0, 1] computed from
+  the measured bitstring counts, where 1 means ideal behaviour.
+
+Benchmarks that need several circuits (e.g. VQE measures its energy in two
+bases, Mermin-Bell measures several commuting groups) return them all from
+:meth:`Benchmark.circuits`; the runner executes each with the same number of
+shots and passes the list of counts back to :meth:`Benchmark.score`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence
+
+from ..circuits import Circuit
+from ..exceptions import BenchmarkError
+from ..features import FeatureVector, compute_features
+from ..simulation import Counts
+
+__all__ = ["Benchmark"]
+
+
+class Benchmark(abc.ABC):
+    """Abstract base class of every SupermarQ benchmark application."""
+
+    #: Short machine-readable benchmark family name, e.g. ``"ghz"``.
+    name: str = "benchmark"
+
+    @abc.abstractmethod
+    def circuits(self) -> List[Circuit]:
+        """The circuits to execute (one entry per required measurement setting)."""
+
+    @abc.abstractmethod
+    def score(self, counts_list: Sequence[Counts]) -> float:
+        """Map the measured counts (one per circuit) to a score in [0, 1]."""
+
+    # ------------------------------------------------------------------
+    def circuit(self) -> Circuit:
+        """The representative circuit used for feature computation."""
+        circuits = self.circuits()
+        if not circuits:
+            raise BenchmarkError(f"benchmark {self.name} produced no circuits")
+        return circuits[0]
+
+    def features(self) -> FeatureVector:
+        """SupermarQ feature vector of the representative circuit."""
+        return compute_features(self.circuit())
+
+    def num_qubits(self) -> int:
+        return self.circuit().num_qubits
+
+    def describe(self) -> Dict[str, object]:
+        """Human-readable summary used by the experiment drivers."""
+        representative = self.circuit()
+        return {
+            "name": self.name,
+            "label": str(self),
+            "num_qubits": representative.num_qubits,
+            "num_circuits": len(self.circuits()),
+            "depth": representative.depth(),
+            "two_qubit_gates": representative.num_two_qubit_gates(),
+            "features": self.features().as_dict(),
+        }
+
+    @staticmethod
+    def _clip_score(value: float) -> float:
+        """Clamp a raw score into [0, 1]."""
+        return float(min(max(value, 0.0), 1.0))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}"

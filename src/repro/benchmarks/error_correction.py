@@ -1,0 +1,214 @@
+"""The error-correction proxy benchmarks: bit code and phase code (Sec. IV-C).
+
+Both are repetition codes parameterised by the number of data qubits and the
+number of syndrome-extraction rounds.  They are *proxy* applications: no
+correction is applied, but the circuits exercise the structure common to real
+error-correcting codes — ancilla-mediated stabilizer measurement followed by
+mid-circuit measurement and RESET — which the paper shows dominates the
+performance of current superconducting devices.
+
+Qubit layout: data qubit ``i`` sits at circuit qubit ``2*i`` and ancilla ``j``
+(between data ``j`` and ``j+1``) at circuit qubit ``2*j + 1``, so a code with
+``k`` data qubits uses ``2k - 1`` circuit qubits.
+
+Classical bit layout: bits ``0 .. k-1`` hold the final data measurement; the
+syndrome measured by ancilla ``j`` in round ``r`` lands in bit
+``k + r*(k-1) + j``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..circuits import Circuit
+from ..exceptions import BenchmarkError
+from ..simulation import Counts, hellinger_fidelity_counts
+from .base import Benchmark
+
+__all__ = ["BitCodeBenchmark", "PhaseCodeBenchmark"]
+
+
+class _RepetitionCodeBenchmark(Benchmark):
+    """Shared machinery of the bit-flip and phase-flip repetition codes."""
+
+    def __init__(self, num_data_qubits: int, num_rounds: int, initial_state: Sequence[int] | None) -> None:
+        if num_data_qubits < 2:
+            raise BenchmarkError("repetition codes need at least two data qubits")
+        if num_rounds < 1:
+            raise BenchmarkError("at least one round of syndrome extraction is required")
+        self.num_data_qubits = int(num_data_qubits)
+        self.num_rounds = int(num_rounds)
+        if initial_state is None:
+            initial_state = [i % 2 for i in range(num_data_qubits)]
+        initial_state = [int(b) for b in initial_state]
+        if len(initial_state) != num_data_qubits or any(b not in (0, 1) for b in initial_state):
+            raise BenchmarkError("initial_state must be a 0/1 sequence of length num_data_qubits")
+        self.initial_state = tuple(initial_state)
+
+    # -- layout helpers ---------------------------------------------------
+    @property
+    def num_ancillas(self) -> int:
+        return self.num_data_qubits - 1
+
+    @property
+    def total_qubits(self) -> int:
+        return 2 * self.num_data_qubits - 1
+
+    @property
+    def total_clbits(self) -> int:
+        return self.num_data_qubits + self.num_rounds * self.num_ancillas
+
+    def data_qubit(self, index: int) -> int:
+        return 2 * index
+
+    def ancilla_qubit(self, index: int) -> int:
+        return 2 * index + 1
+
+    def syndrome_clbit(self, round_index: int, ancilla_index: int) -> int:
+        return self.num_data_qubits + round_index * self.num_ancillas + ancilla_index
+
+    # -- scoring ----------------------------------------------------------
+    def ideal_distribution(self) -> Dict[str, float]:
+        raise NotImplementedError
+
+    def score(self, counts_list: Sequence[Counts]) -> float:
+        if len(counts_list) != 1:
+            raise BenchmarkError("repetition-code benchmarks expect counts for one circuit")
+        return self._clip_score(
+            hellinger_fidelity_counts(counts_list[0], self.ideal_distribution())
+        )
+
+    def _syndrome_pattern(self) -> List[int]:
+        """Noiseless syndrome of each ancilla, identical in every round."""
+        return [
+            self.initial_state[j] ^ self.initial_state[j + 1] for j in range(self.num_ancillas)
+        ]
+
+    def _bits_template(self) -> List[str]:
+        bits = ["0"] * self.total_clbits
+        syndrome = self._syndrome_pattern()
+        for round_index in range(self.num_rounds):
+            for ancilla_index in range(self.num_ancillas):
+                bits[self.syndrome_clbit(round_index, ancilla_index)] = str(
+                    syndrome[ancilla_index]
+                )
+        return bits
+
+
+class BitCodeBenchmark(_RepetitionCodeBenchmark):
+    """Bit-flip repetition code proxy application.
+
+    Data qubits start in the computational-basis state ``initial_state``;
+    each round measures every ``Z_j Z_{j+1}`` stabilizer into a freshly reset
+    ancilla.  In the absence of noise the output is deterministic.
+
+    Args:
+        num_data_qubits: Number of data qubits (paper: 3 and 5).
+        num_rounds: Rounds of syndrome extraction (paper: 2 and 3).
+        initial_state: 0/1 pattern of the data qubits; defaults to 0101...
+    """
+
+    name = "bit_code"
+
+    def __init__(
+        self,
+        num_data_qubits: int,
+        num_rounds: int,
+        initial_state: Sequence[int] | None = None,
+    ) -> None:
+        super().__init__(num_data_qubits, num_rounds, initial_state)
+
+    def circuits(self) -> List[Circuit]:
+        circuit = Circuit(
+            self.total_qubits,
+            self.total_clbits,
+            name=f"bit_code_{self.num_data_qubits}d_{self.num_rounds}r",
+        )
+        for index, bit in enumerate(self.initial_state):
+            if bit:
+                circuit.x(self.data_qubit(index))
+        for round_index in range(self.num_rounds):
+            for ancilla_index in range(self.num_ancillas):
+                ancilla = self.ancilla_qubit(ancilla_index)
+                circuit.cx(self.data_qubit(ancilla_index), ancilla)
+                circuit.cx(self.data_qubit(ancilla_index + 1), ancilla)
+                circuit.measure(ancilla, self.syndrome_clbit(round_index, ancilla_index))
+                circuit.reset(ancilla)
+        for index in range(self.num_data_qubits):
+            circuit.measure(self.data_qubit(index), index)
+        return [circuit]
+
+    def ideal_distribution(self) -> Dict[str, float]:
+        bits = self._bits_template()
+        for index, bit in enumerate(self.initial_state):
+            bits[index] = str(bit)
+        return {"".join(bits): 1.0}
+
+    def __str__(self) -> str:
+        return f"bit_code[{self.num_data_qubits}d,{self.num_rounds}r]"
+
+
+class PhaseCodeBenchmark(_RepetitionCodeBenchmark):
+    """Phase-flip repetition code proxy application.
+
+    Data qubits start in ``|+>``/``|->`` according to ``initial_state``
+    (0 -> ``|+>``, 1 -> ``|->``); each round measures every ``X_j X_{j+1}``
+    stabilizer through an ancilla prepared and read out in the X basis.  In
+    the noiseless case the syndromes are deterministic while the final
+    Z-basis data measurement is uniformly random, so the ideal distribution
+    is uniform over the data bits with fixed syndrome bits.
+
+    Args:
+        num_data_qubits: Number of data qubits (paper: 3 and 5).
+        num_rounds: Rounds of syndrome extraction (paper: 2 and 3).
+        initial_state: +/- pattern encoded as 0/1; defaults to 0101...
+    """
+
+    name = "phase_code"
+
+    def __init__(
+        self,
+        num_data_qubits: int,
+        num_rounds: int,
+        initial_state: Sequence[int] | None = None,
+    ) -> None:
+        super().__init__(num_data_qubits, num_rounds, initial_state)
+
+    def circuits(self) -> List[Circuit]:
+        circuit = Circuit(
+            self.total_qubits,
+            self.total_clbits,
+            name=f"phase_code_{self.num_data_qubits}d_{self.num_rounds}r",
+        )
+        for index, sign in enumerate(self.initial_state):
+            qubit = self.data_qubit(index)
+            circuit.h(qubit)
+            if sign:
+                circuit.z(qubit)
+        for round_index in range(self.num_rounds):
+            for ancilla_index in range(self.num_ancillas):
+                ancilla = self.ancilla_qubit(ancilla_index)
+                circuit.h(ancilla)
+                circuit.cx(ancilla, self.data_qubit(ancilla_index))
+                circuit.cx(ancilla, self.data_qubit(ancilla_index + 1))
+                circuit.h(ancilla)
+                circuit.measure(ancilla, self.syndrome_clbit(round_index, ancilla_index))
+                circuit.reset(ancilla)
+        for index in range(self.num_data_qubits):
+            circuit.measure(self.data_qubit(index), index)
+        return [circuit]
+
+    def ideal_distribution(self) -> Dict[str, float]:
+        template = self._bits_template()
+        distribution: Dict[str, float] = {}
+        patterns = 2**self.num_data_qubits
+        weight = 1.0 / patterns
+        for value in range(patterns):
+            bits = list(template)
+            for index in range(self.num_data_qubits):
+                bits[index] = "1" if (value >> index) & 1 else "0"
+            distribution["".join(bits)] = weight
+        return distribution
+
+    def __str__(self) -> str:
+        return f"phase_code[{self.num_data_qubits}d,{self.num_rounds}r]"

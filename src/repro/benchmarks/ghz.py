@@ -1,0 +1,58 @@
+"""The GHZ benchmark (Section IV-A).
+
+A Hadamard followed by a CNOT ladder prepares the entangled state
+``(|00...0> + |11...1>)/sqrt(2)``.  The score is the Hellinger fidelity
+between the measured distribution and the ideal 50/50 distribution over the
+all-zeros and all-ones bitstrings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..circuits import Circuit
+from ..exceptions import BenchmarkError
+from ..simulation import Counts, hellinger_fidelity_counts
+from .base import Benchmark
+
+__all__ = ["GHZBenchmark"]
+
+
+class GHZBenchmark(Benchmark):
+    """GHZ state-preparation fidelity benchmark.
+
+    Args:
+        num_qubits: Size of the GHZ state (at least 2).
+    """
+
+    name = "ghz"
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 2:
+            raise BenchmarkError("the GHZ benchmark needs at least two qubits")
+        self._num_qubits = int(num_qubits)
+
+    # ------------------------------------------------------------------
+    def circuits(self) -> List[Circuit]:
+        circuit = Circuit(self._num_qubits, self._num_qubits, name=f"ghz_{self._num_qubits}")
+        circuit.h(0)
+        for qubit in range(self._num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+        circuit.measure_all()
+        return [circuit]
+
+    def ideal_distribution(self) -> Dict[str, float]:
+        """The noiseless output distribution."""
+        zeros = "0" * self._num_qubits
+        ones = "1" * self._num_qubits
+        return {zeros: 0.5, ones: 0.5}
+
+    def score(self, counts_list: Sequence[Counts]) -> float:
+        if len(counts_list) != 1:
+            raise BenchmarkError("the GHZ benchmark expects counts for exactly one circuit")
+        return self._clip_score(
+            hellinger_fidelity_counts(counts_list[0], self.ideal_distribution())
+        )
+
+    def __str__(self) -> str:
+        return f"ghz[{self._num_qubits}q]"

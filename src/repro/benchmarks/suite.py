@@ -1,0 +1,121 @@
+"""Standard SupermarQ benchmark instances.
+
+Two groupings are provided:
+
+* :func:`figure2_benchmarks` — the exact instances evaluated in Fig. 2 of the
+  paper (per-subfigure lists of parameterisations).
+* :func:`scaling_suite` — instances of every benchmark family across a range
+  of sizes, used by the coverage analysis (Table I) and by the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .base import Benchmark
+from .error_correction import BitCodeBenchmark, PhaseCodeBenchmark
+from .ghz import GHZBenchmark
+from .hamiltonian_simulation import HamiltonianSimulationBenchmark
+from .mermin_bell import MerminBellBenchmark
+from .qaoa import VanillaQAOABenchmark, ZZSwapQAOABenchmark
+from .vqe import VQEBenchmark
+
+__all__ = ["BENCHMARK_FAMILIES", "figure2_benchmarks", "scaling_suite", "make_benchmark"]
+
+#: Family name -> constructor, for programmatic access.
+BENCHMARK_FAMILIES = {
+    "ghz": GHZBenchmark,
+    "mermin_bell": MerminBellBenchmark,
+    "bit_code": BitCodeBenchmark,
+    "phase_code": PhaseCodeBenchmark,
+    "vanilla_qaoa": VanillaQAOABenchmark,
+    "zzswap_qaoa": ZZSwapQAOABenchmark,
+    "vqe": VQEBenchmark,
+    "hamiltonian_simulation": HamiltonianSimulationBenchmark,
+}
+
+
+def make_benchmark(family: str, *args, **kwargs) -> Benchmark:
+    """Instantiate a benchmark by family name."""
+    if family not in BENCHMARK_FAMILIES:
+        raise KeyError(f"unknown benchmark family {family!r}; known: {sorted(BENCHMARK_FAMILIES)}")
+    return BENCHMARK_FAMILIES[family](*args, **kwargs)
+
+
+def figure2_benchmarks(small: bool = False) -> Dict[str, List[Benchmark]]:
+    """The benchmark instances evaluated in Fig. 2, grouped per subfigure.
+
+    Args:
+        small: When True, return a reduced set (the smallest one or two
+            instances per family) so the full cross-platform sweep stays fast
+            enough for continuous testing.  The full set matches the paper.
+    """
+    if small:
+        return {
+            "ghz": [GHZBenchmark(3), GHZBenchmark(5)],
+            "mermin_bell": [MerminBellBenchmark(3)],
+            "bit_code": [BitCodeBenchmark(3, 2)],
+            "phase_code": [PhaseCodeBenchmark(3, 2)],
+            "vqe": [VQEBenchmark(4, 1)],
+            "hamiltonian_simulation": [
+                HamiltonianSimulationBenchmark(4, steps=1),
+            ],
+            "zzswap_qaoa": [ZZSwapQAOABenchmark(4)],
+            "vanilla_qaoa": [VanillaQAOABenchmark(4)],
+        }
+    return {
+        "ghz": [GHZBenchmark(n) for n in (3, 5, 7, 11)],
+        "mermin_bell": [MerminBellBenchmark(n) for n in (3, 4)],
+        "bit_code": [
+            BitCodeBenchmark(3, 2),
+            BitCodeBenchmark(3, 3),
+            BitCodeBenchmark(5, 2),
+            BitCodeBenchmark(5, 3),
+        ],
+        "phase_code": [
+            PhaseCodeBenchmark(3, 2),
+            PhaseCodeBenchmark(3, 3),
+            PhaseCodeBenchmark(5, 2),
+            PhaseCodeBenchmark(5, 3),
+        ],
+        "vqe": [
+            VQEBenchmark(4, 1),
+            VQEBenchmark(4, 2),
+            VQEBenchmark(7, 1),
+            VQEBenchmark(7, 2),
+        ],
+        "hamiltonian_simulation": [
+            HamiltonianSimulationBenchmark(4, steps=1),
+            HamiltonianSimulationBenchmark(4, steps=3),
+            HamiltonianSimulationBenchmark(7, steps=1),
+            HamiltonianSimulationBenchmark(7, steps=3),
+            HamiltonianSimulationBenchmark(11, steps=1),
+            HamiltonianSimulationBenchmark(11, steps=3),
+        ],
+        "zzswap_qaoa": [ZZSwapQAOABenchmark(n) for n in (4, 5, 7, 11)],
+        "vanilla_qaoa": [VanillaQAOABenchmark(n) for n in (4, 5, 7, 11)],
+    }
+
+
+def scaling_suite(sizes: Sequence[int] = (3, 5, 7, 11, 16, 27, 50, 100, 250, 500, 1000)) -> List[Benchmark]:
+    """Benchmark instances spanning NISQ to early-FT sizes for coverage analysis.
+
+    Only families whose construction is purely structural (no classical
+    pre-optimisation) are instantiated at the very large sizes, so building
+    the suite stays cheap; the variational families are included up to the
+    sizes their classical reference supports.
+    """
+    suite: List[Benchmark] = []
+    for size in sizes:
+        suite.append(GHZBenchmark(max(size, 2)))
+        data_qubits = max((size + 1) // 2, 2)
+        suite.append(BitCodeBenchmark(data_qubits, num_rounds=2))
+        suite.append(PhaseCodeBenchmark(data_qubits, num_rounds=2))
+        suite.append(HamiltonianSimulationBenchmark(max(size, 2), steps=1))
+        if size <= 7:
+            suite.append(MerminBellBenchmark(max(size, 3)))
+        if size <= 12:
+            suite.append(VQEBenchmark(max(size, 2), num_layers=1))
+            suite.append(VanillaQAOABenchmark(max(size, 3)))
+            suite.append(ZZSwapQAOABenchmark(max(size, 3)))
+    return suite

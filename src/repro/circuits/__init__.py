@@ -1,0 +1,61 @@
+"""Quantum circuit intermediate representation.
+
+Public API:
+
+* :class:`Circuit`, :class:`Instruction` — the circuit IR.
+* :class:`Gate`, :func:`gate_matrix` — gate definitions and unitaries.
+* :func:`circuit_moments`, :func:`liveness_matrix` — ASAP layering.
+* :func:`circuit_dag`, :func:`two_qubit_critical_path` — dependency analysis.
+* :func:`circuit_to_qasm`, :func:`circuit_from_qasm` — OpenQASM 2.0 round trip.
+* Random circuit generators in :mod:`repro.circuits.random_circuits`.
+"""
+
+from .circuit import Circuit, Instruction
+from .dag import circuit_dag, critical_path_length, two_qubit_critical_path
+from .gates import (
+    BARRIER,
+    GATE_DEFINITIONS,
+    Gate,
+    GateDefinition,
+    MEASURE,
+    RESET,
+    gate_matrix,
+    is_known_gate,
+    standard_gate,
+)
+from .moments import circuit_depth, circuit_moments, liveness_matrix
+from .qasm import circuit_from_qasm, circuit_to_qasm
+from .random_circuits import (
+    ghz_ladder,
+    quantum_volume_circuit,
+    random_clifford_circuit,
+    random_layered_circuit,
+    random_single_qubit_layer,
+)
+
+__all__ = [
+    "Circuit",
+    "Instruction",
+    "Gate",
+    "GateDefinition",
+    "GATE_DEFINITIONS",
+    "MEASURE",
+    "RESET",
+    "BARRIER",
+    "gate_matrix",
+    "is_known_gate",
+    "standard_gate",
+    "circuit_moments",
+    "circuit_depth",
+    "liveness_matrix",
+    "circuit_dag",
+    "critical_path_length",
+    "two_qubit_critical_path",
+    "circuit_to_qasm",
+    "circuit_from_qasm",
+    "ghz_ladder",
+    "quantum_volume_circuit",
+    "random_clifford_circuit",
+    "random_layered_circuit",
+    "random_single_qubit_layer",
+]

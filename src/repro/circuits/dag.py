@@ -1,0 +1,90 @@
+"""Dependency DAG of a circuit and critical-path analysis.
+
+Two instructions depend on each other when they share a qubit; the DAG
+orders them by program order.  The longest chain of dependent instructions
+is the critical path.  The Critical-Depth feature (Eq. 2 of the paper) needs
+the number of two-qubit interactions that lie on a critical path, maximised
+over all critical paths — a heavily serialised two-qubit circuit should
+score close to 1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .circuit import Circuit
+
+__all__ = ["circuit_dag", "critical_path_length", "two_qubit_critical_path"]
+
+
+def circuit_dag(circuit: "Circuit") -> nx.DiGraph:
+    """Build the instruction dependency DAG.
+
+    Nodes are instruction indices (barriers are skipped); there is an edge
+    from ``i`` to ``j`` when instruction ``j`` is the next instruction after
+    ``i`` acting on one of ``i``'s qubits.
+    """
+    dag = nx.DiGraph()
+    last_on_qubit: Dict[int, int] = {}
+    for index, instruction in enumerate(circuit):
+        if instruction.is_barrier():
+            continue
+        dag.add_node(index, instruction=instruction)
+        for qubit in instruction.qubits:
+            previous = last_on_qubit.get(qubit)
+            if previous is not None:
+                dag.add_edge(previous, index)
+            last_on_qubit[qubit] = index
+    return dag
+
+
+def critical_path_length(circuit: "Circuit") -> int:
+    """Length (in instructions) of the longest dependency chain."""
+    length, _ = _longest_paths(circuit)
+    return length
+
+
+def two_qubit_critical_path(circuit: "Circuit") -> Tuple[int, int]:
+    """Return ``(two_qubit_gates_on_critical_path, critical_path_length)``.
+
+    Among all maximum-length dependency chains, the one containing the most
+    multi-qubit unitaries is selected.
+    """
+    return _longest_paths(circuit)[::-1]
+
+
+def _longest_paths(circuit: "Circuit") -> Tuple[int, int]:
+    """Return ``(max_chain_length, max_two_qubit_count_on_a_max_chain)``."""
+    best_length = 0
+    best_two_qubit = 0
+    # length_to[i]  = longest chain ending at instruction i (inclusive)
+    # twoq_to[i]    = max #2q gates over chains of that length ending at i
+    length_to: Dict[int, int] = {}
+    twoq_to: Dict[int, int] = {}
+    last_on_qubit: Dict[int, int] = {}
+    for index, instruction in enumerate(circuit):
+        if instruction.is_barrier():
+            continue
+        predecessors = {last_on_qubit[q] for q in instruction.qubits if q in last_on_qubit}
+        pred_length = 0
+        pred_twoq = 0
+        for p in predecessors:
+            if length_to[p] > pred_length or (
+                length_to[p] == pred_length and twoq_to[p] > pred_twoq
+            ):
+                pred_length = length_to[p]
+                pred_twoq = twoq_to[p]
+        is_two_qubit = 1 if instruction.is_multi_qubit() else 0
+        length_to[index] = pred_length + 1
+        twoq_to[index] = pred_twoq + is_two_qubit
+        for q in instruction.qubits:
+            last_on_qubit[q] = index
+        if length_to[index] > best_length or (
+            length_to[index] == best_length and twoq_to[index] > best_two_qubit
+        ):
+            best_length = length_to[index]
+            best_two_qubit = twoq_to[index]
+    return best_length, best_two_qubit

@@ -1,0 +1,68 @@
+"""As-soon-as-possible scheduling of a circuit into moments (layers).
+
+The SupermarQ feature definitions (Parallelism, Liveness, Measurement,
+Critical-Depth) are all expressed in terms of "the circuit depth ``d``",
+meaning the number of layers when every operation is scheduled as early as
+its qubit dependencies allow.  This module provides that layering.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .circuit import Circuit, Instruction
+
+__all__ = ["circuit_moments", "circuit_depth", "liveness_matrix"]
+
+
+def circuit_moments(circuit: "Circuit") -> List[List["Instruction"]]:
+    """Schedule instructions into ASAP layers.
+
+    Barriers act as synchronization points over the qubits they cover: every
+    later operation on those qubits starts no earlier than the layer after
+    the latest operation preceding the barrier.  Barriers themselves are not
+    emitted into any layer and do not count toward the depth.
+    """
+    frontier = [0] * circuit.num_qubits  # next free layer per qubit
+    layers: List[List["Instruction"]] = []
+    for instruction in circuit:
+        qubits = instruction.qubits
+        if instruction.is_barrier():
+            if not qubits:
+                continue
+            level = max(frontier[q] for q in qubits)
+            for q in qubits:
+                frontier[q] = level
+            continue
+        level = max(frontier[q] for q in qubits) if qubits else 0
+        while len(layers) <= level:
+            layers.append([])
+        layers[level].append(instruction)
+        for q in qubits:
+            frontier[q] = level + 1
+    return layers
+
+
+def circuit_depth(circuit: "Circuit") -> int:
+    """Number of ASAP layers in the circuit."""
+    return len(circuit_moments(circuit))
+
+
+def liveness_matrix(circuit: "Circuit"):
+    """Binary qubit-by-layer activity matrix used by the Liveness feature.
+
+    Entry ``(q, t)`` is 1 when qubit ``q`` participates in any operation in
+    layer ``t`` and 0 when it idles.  Returns a ``numpy`` array with shape
+    ``(num_qubits, depth)``; the depth-0 case returns a ``(num_qubits, 0)``
+    array.
+    """
+    import numpy as np
+
+    layers = circuit_moments(circuit)
+    matrix = np.zeros((circuit.num_qubits, len(layers)), dtype=int)
+    for t, layer in enumerate(layers):
+        for instruction in layer:
+            for q in instruction.qubits:
+                matrix[q, t] = 1
+    return matrix

@@ -1,0 +1,131 @@
+"""Random circuit generators.
+
+These are used by the coverage study (proxy circuits for the synthetic and
+competitor suites), by the transpiler's tests and by the quantum-volume style
+ablation benchmarks.  All generators take a ``numpy`` random generator (or a
+seed) so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .circuit import Circuit
+
+__all__ = [
+    "random_single_qubit_layer",
+    "quantum_volume_circuit",
+    "random_clifford_circuit",
+    "random_layered_circuit",
+    "ghz_ladder",
+]
+
+_CLIFFORD_1Q = ("id", "x", "y", "z", "h", "s", "sdg")
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_single_qubit_layer(
+    num_qubits: int, rng: int | np.random.Generator | None = None
+) -> Circuit:
+    """One layer of Haar-like random single-qubit rotations (u gates)."""
+    generator = _rng(rng)
+    circuit = Circuit(num_qubits)
+    for q in range(num_qubits):
+        theta, phi, lam = generator.uniform(0, 2 * math.pi, size=3)
+        circuit.u(theta, phi, lam, q)
+    return circuit
+
+
+def quantum_volume_circuit(
+    num_qubits: int,
+    depth: int | None = None,
+    rng: int | np.random.Generator | None = None,
+    measure: bool = True,
+) -> Circuit:
+    """A quantum-volume model circuit: ``depth`` layers of random pairings.
+
+    Each layer randomly permutes the qubits, pairs neighbours and applies a
+    random SU(4)-like block (two random single-qubit gates sandwiching a CX)
+    to each pair.  ``depth`` defaults to ``num_qubits``, matching the
+    square-circuit quantum volume protocol.
+    """
+    generator = _rng(rng)
+    if depth is None:
+        depth = num_qubits
+    circuit = Circuit(num_qubits)
+    for _ in range(depth):
+        order = generator.permutation(num_qubits)
+        for i in range(0, num_qubits - 1, 2):
+            a, b = int(order[i]), int(order[i + 1])
+            for q in (a, b):
+                theta, phi, lam = generator.uniform(0, 2 * math.pi, size=3)
+                circuit.u(theta, phi, lam, q)
+            circuit.cx(a, b)
+            for q in (a, b):
+                theta, phi, lam = generator.uniform(0, 2 * math.pi, size=3)
+                circuit.u(theta, phi, lam, q)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def random_clifford_circuit(
+    num_qubits: int,
+    num_gates: int,
+    two_qubit_fraction: float = 0.3,
+    rng: int | np.random.Generator | None = None,
+) -> Circuit:
+    """Random circuit drawn from {1q Cliffords, CX} with the given 2q fraction."""
+    generator = _rng(rng)
+    circuit = Circuit(num_qubits)
+    for _ in range(num_gates):
+        if num_qubits >= 2 and generator.random() < two_qubit_fraction:
+            a, b = generator.choice(num_qubits, size=2, replace=False)
+            circuit.cx(int(a), int(b))
+        else:
+            gate = str(generator.choice(_CLIFFORD_1Q))
+            circuit.add_gate(gate, [int(generator.integers(num_qubits))])
+    return circuit
+
+
+def random_layered_circuit(
+    num_qubits: int,
+    depth: int,
+    coupling: Sequence[tuple[int, int]] | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> Circuit:
+    """Brickwork circuit restricted to a coupling map (nearest-neighbour default)."""
+    generator = _rng(rng)
+    if coupling is None:
+        coupling = [(i, i + 1) for i in range(num_qubits - 1)]
+    coupling = list(coupling)
+    circuit = Circuit(num_qubits)
+    for layer in range(depth):
+        for q in range(num_qubits):
+            theta = float(generator.uniform(0, 2 * math.pi))
+            circuit.rz(theta, q)
+            circuit.sx(q)
+        offset = layer % 2
+        for index, (a, b) in enumerate(coupling):
+            if index % 2 == offset:
+                circuit.cx(a, b)
+    return circuit
+
+
+def ghz_ladder(num_qubits: int, measure: bool = False) -> Circuit:
+    """Hadamard plus a CNOT ladder: the canonical GHZ state preparation."""
+    circuit = Circuit(num_qubits)
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    if measure:
+        circuit.measure_all()
+    return circuit

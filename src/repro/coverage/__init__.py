@@ -1,0 +1,27 @@
+"""Coverage analysis: feature-space convex hulls and the Table I comparison."""
+
+from .suites import (
+    SUITE_BUILDERS,
+    cbg2021_suite_vectors,
+    coverage_table,
+    ppl2020_suite_vectors,
+    qasmbench_suite_vectors,
+    supermarq_suite_vectors,
+    synthetic_suite_vectors,
+    triq_suite_vectors,
+)
+from .volume import coverage_volume, coverage_volume_of_circuits, feature_matrix
+
+__all__ = [
+    "coverage_volume",
+    "coverage_volume_of_circuits",
+    "feature_matrix",
+    "SUITE_BUILDERS",
+    "coverage_table",
+    "supermarq_suite_vectors",
+    "qasmbench_suite_vectors",
+    "synthetic_suite_vectors",
+    "cbg2021_suite_vectors",
+    "triq_suite_vectors",
+    "ppl2020_suite_vectors",
+]

@@ -1,0 +1,217 @@
+"""The nine QPUs of the paper's evaluation (Table II plus Fig. 2's x-axis).
+
+Five devices have their calibration quoted directly in Table II
+(IBM-Casablanca, IBM-Montreal, IBM-Guadalupe, IonQ-11Q, AQT-4Q).  The paper
+evaluates four further IBM devices (Lagos, Mumbai, Santiago, Toronto) whose
+calibration it points to IBM Quantum's online dashboards for; those entries
+are therefore estimates representative of the same hardware generation and
+are flagged ``calibration_estimated=True``.
+
+Error percentages from the paper are converted to probabilities here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..exceptions import DeviceError
+from .device import Calibration, Device
+from .topology import FALCON_16_EDGES, FALCON_27_EDGES, HUMMINGBIRD_7_EDGES
+
+__all__ = ["DEVICE_LIBRARY", "get_device", "all_devices", "device_names"]
+
+_IBM_BASIS = ("rz", "sx", "x", "cx")
+_IONQ_BASIS = ("rx", "ry", "rz", "rxx")
+_AQT_BASIS = ("rz", "sx", "x", "cz")
+
+_RING_4 = ((0, 1), (1, 2), (2, 3), (3, 0))
+_LINE_5 = ((0, 1), (1, 2), (2, 3), (3, 4))
+
+
+def _build_library() -> Dict[str, Device]:
+    devices = [
+        Device(
+            name="AQT-4Q",
+            num_qubits=4,
+            edges=_RING_4,
+            basis_gates=_AQT_BASIS,
+            calibration=Calibration(
+                t1=62.0,
+                t2=37.0,
+                gate_time_1q=0.03,
+                gate_time_2q=0.152,
+                readout_time=1.02,
+                error_1q=0.00083,
+                error_2q=0.021,
+                readout_error=0.0125,
+            ),
+            family="superconducting",
+        ),
+        Device(
+            name="IBM-Casablanca-7Q",
+            num_qubits=7,
+            edges=HUMMINGBIRD_7_EDGES,
+            basis_gates=_IBM_BASIS,
+            calibration=Calibration(
+                t1=91.21,
+                t2=125.23,
+                gate_time_1q=0.035,
+                gate_time_2q=0.443,
+                readout_time=5.9,
+                error_1q=0.00028,
+                error_2q=0.0083,
+                readout_error=0.0209,
+            ),
+            family="superconducting",
+        ),
+        Device(
+            name="IBM-Guadalupe-16Q",
+            num_qubits=16,
+            edges=FALCON_16_EDGES,
+            basis_gates=_IBM_BASIS,
+            calibration=Calibration(
+                t1=99.52,
+                t2=104.99,
+                gate_time_1q=0.035,
+                gate_time_2q=0.416,
+                readout_time=5.4,
+                error_1q=0.00043,
+                error_2q=0.0103,
+                readout_error=0.0279,
+            ),
+            family="superconducting",
+        ),
+        Device(
+            name="IonQ-11Q",
+            num_qubits=11,
+            edges=None,  # all-to-all trapped-ion connectivity
+            basis_gates=_IONQ_BASIS,
+            calibration=Calibration(
+                t1=1e7,
+                t2=2e5,
+                gate_time_1q=10.0,
+                gate_time_2q=210.0,
+                readout_time=100.0,
+                error_1q=0.0028,
+                error_2q=0.0304,
+                readout_error=0.0039,
+            ),
+            family="trapped_ion",
+        ),
+        Device(
+            name="IBM-Lagos-7Q",
+            num_qubits=7,
+            edges=HUMMINGBIRD_7_EDGES,
+            basis_gates=_IBM_BASIS,
+            calibration=Calibration(
+                t1=130.0,
+                t2=105.0,
+                gate_time_1q=0.035,
+                gate_time_2q=0.37,
+                readout_time=4.9,
+                error_1q=0.0003,
+                error_2q=0.007,
+                readout_error=0.012,
+            ),
+            family="superconducting",
+            calibration_estimated=True,
+        ),
+        Device(
+            name="IBM-Montreal-27Q",
+            num_qubits=27,
+            edges=FALCON_27_EDGES,
+            basis_gates=_IBM_BASIS,
+            calibration=Calibration(
+                t1=104.14,
+                t2=86.88,
+                gate_time_1q=0.035,
+                gate_time_2q=0.423,
+                readout_time=5.2,
+                error_1q=0.00052,
+                error_2q=0.0176,
+                readout_error=0.0196,
+            ),
+            family="superconducting",
+        ),
+        Device(
+            name="IBM-Mumbai-27Q",
+            num_qubits=27,
+            edges=FALCON_27_EDGES,
+            basis_gates=_IBM_BASIS,
+            calibration=Calibration(
+                t1=110.0,
+                t2=90.0,
+                gate_time_1q=0.035,
+                gate_time_2q=0.40,
+                readout_time=5.2,
+                error_1q=0.00045,
+                error_2q=0.010,
+                readout_error=0.020,
+            ),
+            family="superconducting",
+            calibration_estimated=True,
+        ),
+        Device(
+            name="IBM-Santiago-5Q",
+            num_qubits=5,
+            edges=_LINE_5,
+            basis_gates=_IBM_BASIS,
+            calibration=Calibration(
+                t1=95.0,
+                t2=110.0,
+                gate_time_1q=0.035,
+                gate_time_2q=0.35,
+                readout_time=4.0,
+                error_1q=0.00035,
+                error_2q=0.008,
+                readout_error=0.015,
+            ),
+            family="superconducting",
+            calibration_estimated=True,
+        ),
+        Device(
+            name="IBM-Toronto-27Q",
+            num_qubits=27,
+            edges=FALCON_27_EDGES,
+            basis_gates=_IBM_BASIS,
+            calibration=Calibration(
+                t1=100.0,
+                t2=85.0,
+                gate_time_1q=0.035,
+                gate_time_2q=0.45,
+                readout_time=5.5,
+                error_1q=0.0006,
+                error_2q=0.015,
+                readout_error=0.030,
+            ),
+            family="superconducting",
+            calibration_estimated=True,
+        ),
+    ]
+    return {device.name: device for device in devices}
+
+
+#: All nine devices of the evaluation, keyed by name.
+DEVICE_LIBRARY: Dict[str, Device] = _build_library()
+
+
+def device_names() -> List[str]:
+    """Names of all registered devices, in the paper's plotting order."""
+    return list(DEVICE_LIBRARY)
+
+
+def all_devices() -> List[Device]:
+    return list(DEVICE_LIBRARY.values())
+
+
+def get_device(name: str) -> Device:
+    """Look up a device by exact name or by a unique case-insensitive prefix."""
+    if name in DEVICE_LIBRARY:
+        return DEVICE_LIBRARY[name]
+    lowered = name.lower()
+    matches = [d for key, d in DEVICE_LIBRARY.items() if key.lower().startswith(lowered)]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise DeviceError(f"unknown device {name!r}; known: {', '.join(DEVICE_LIBRARY)}")
+    raise DeviceError(f"ambiguous device name {name!r}; matches {[d.name for d in matches]}")

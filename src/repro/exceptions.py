@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so callers can distinguish library failures from
+programming mistakes (``TypeError``, ``ValueError`` raised by numpy, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid circuit operations."""
+
+
+class GateError(CircuitError):
+    """Raised when a gate is constructed or used incorrectly."""
+
+
+class QasmError(ReproError):
+    """Raised when OpenQASM text cannot be parsed or emitted."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator cannot execute a circuit."""
+
+
+class NoiseModelError(SimulationError):
+    """Raised when a noise model is inconsistent or incomplete."""
+
+
+class TranspilerError(ReproError):
+    """Raised when a circuit cannot be compiled to a target device."""
+
+
+class DeviceError(ReproError):
+    """Raised when a device description is invalid or unknown."""
+
+
+class BenchmarkError(ReproError):
+    """Raised when a benchmark is instantiated with invalid parameters."""
+
+
+class AnalysisError(ReproError):
+    """Raised when an analysis routine receives unusable data."""

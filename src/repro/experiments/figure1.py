@@ -1,0 +1,49 @@
+"""Figure 1 — feature maps of the benchmark applications."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..benchmarks import (
+    BitCodeBenchmark,
+    GHZBenchmark,
+    HamiltonianSimulationBenchmark,
+    MerminBellBenchmark,
+    PhaseCodeBenchmark,
+    VQEBenchmark,
+    VanillaQAOABenchmark,
+    ZZSwapQAOABenchmark,
+)
+from ..features import FEATURE_NAMES
+from .formatting import format_table
+
+__all__ = ["figure1_benchmarks", "reproduce_figure1", "render_figure1"]
+
+
+def figure1_benchmarks():
+    """Representative instances matching the sample circuits shown in Fig. 1."""
+    return [
+        GHZBenchmark(3),
+        MerminBellBenchmark(3),
+        PhaseCodeBenchmark(3, 1),
+        BitCodeBenchmark(3, 1),
+        ZZSwapQAOABenchmark(4),
+        VanillaQAOABenchmark(3),
+        VQEBenchmark(4, 1),
+        HamiltonianSimulationBenchmark(4, steps=1),
+    ]
+
+
+def reproduce_figure1() -> List[Dict[str, object]]:
+    """Feature vector of each benchmark (the radial axes of each feature map)."""
+    rows: List[Dict[str, object]] = []
+    for benchmark in figure1_benchmarks():
+        row: Dict[str, object] = {"benchmark": str(benchmark)}
+        row.update({name: round(value, 4) for name, value in benchmark.features().as_dict().items()})
+        rows.append(row)
+    return rows
+
+
+def render_figure1() -> str:
+    """Human-readable feature-map table."""
+    return format_table(reproduce_figure1(), columns=["benchmark", *FEATURE_NAMES])

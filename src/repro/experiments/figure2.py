@@ -1,0 +1,92 @@
+"""Figure 2 — benchmark scores across the nine device models.
+
+The full sweep (all benchmark instances on all devices, 2000 shots, several
+repetitions) is what the paper runs on real hardware.  Simulating it exactly
+is possible but slow, so the driver exposes knobs (``small``, ``shots``,
+``trajectories``, ``devices``) and defaults to a reduced configuration that
+preserves the qualitative shape of the figure: scores fall with benchmark
+size, error-correction benchmarks suffer most on superconducting devices and
+the all-to-all trapped-ion model wins the communication-heavy benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..benchmarks import figure2_benchmarks
+from ..devices import all_devices, get_device
+from ..exceptions import DeviceError
+from .formatting import format_table
+from .runner import BenchmarkRun, run_benchmark_on_device
+
+__all__ = ["reproduce_figure2", "figure2_records", "render_figure2"]
+
+
+def reproduce_figure2(
+    devices: Optional[Sequence[str]] = None,
+    small: bool = True,
+    shots: int = 250,
+    repetitions: int = 2,
+    trajectories: int | None = 40,
+    families: Optional[Sequence[str]] = None,
+    seed: int = 1234,
+) -> List[BenchmarkRun]:
+    """Run the Fig. 2 sweep and return one :class:`BenchmarkRun` per (instance, device).
+
+    Args:
+        devices: Device names to include (default: all nine).
+        small: Use the reduced instance list (fast) instead of the full paper set.
+        shots: Shots per circuit per repetition (paper: 2000 on IBM devices).
+        repetitions: Independent repetitions for the error bars.
+        trajectories: Monte-Carlo noise trajectories the shots are spread over
+            (``None`` = one per shot, the slowest but most faithful option).
+        families: Restrict to these benchmark families (default: all eight).
+        seed: Base random seed.
+    """
+    device_list = [get_device(name) for name in devices] if devices else all_devices()
+    instance_map = figure2_benchmarks(small=small)
+    if families is not None:
+        instance_map = {family: instance_map[family] for family in families}
+
+    runs: List[BenchmarkRun] = []
+    for family, instances in instance_map.items():
+        for benchmark in instances:
+            for device in device_list:
+                try:
+                    run = run_benchmark_on_device(
+                        benchmark,
+                        device,
+                        shots=shots,
+                        repetitions=repetitions,
+                        trajectories=trajectories,
+                        seed=seed,
+                    )
+                except DeviceError:
+                    # The black "X" entries of Fig. 2: instance too large for the device.
+                    continue
+                runs.append(run)
+    return runs
+
+
+def figure2_records(runs: Iterable[BenchmarkRun]) -> List[Dict[str, float]]:
+    """Flatten runs into records consumable by the Fig. 3 correlation analysis."""
+    return [run.record() for run in runs]
+
+
+def render_figure2(runs: Iterable[BenchmarkRun]) -> str:
+    """Human-readable score table (device x benchmark)."""
+    rows = []
+    for run in runs:
+        rows.append(
+            {
+                "benchmark": run.benchmark,
+                "device": run.device,
+                "score": round(run.mean_score, 3),
+                "std": round(run.std_score, 3),
+                "2q_gates": run.compiled_two_qubit_gates,
+                "depth": run.compiled_depth,
+                "swaps": run.swap_count,
+            }
+        )
+    rows.sort(key=lambda row: (row["benchmark"], row["device"]))
+    return format_table(rows)

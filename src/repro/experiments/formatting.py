@@ -1,0 +1,44 @@
+"""Plain-text rendering of tables and heat maps for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_heatmap"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Render a list of dictionaries as an aligned ASCII table."""
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[_render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in rendered)) for i, column in enumerate(columns)
+    ]
+    header = " | ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_heatmap(matrix: Mapping[str, Mapping[str, float]], columns: Sequence[str]) -> str:
+    """Render a ``{row: {column: value}}`` mapping as an aligned grid of numbers."""
+    rows = []
+    for row_name, row in matrix.items():
+        entry: Dict[str, object] = {"": row_name}
+        for column in columns:
+            entry[column] = f"{row.get(column, 0.0):.2f}"
+        rows.append(entry)
+    return format_table(rows, columns=["", *columns])
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)

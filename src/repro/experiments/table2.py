@@ -1,0 +1,36 @@
+"""Table II — characteristics of the evaluated quantum computers."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..devices import all_devices
+from .formatting import format_table
+
+__all__ = ["reproduce_table2", "render_table2"]
+
+
+def reproduce_table2() -> List[Dict[str, object]]:
+    """One row per registered device with its calibration constants."""
+    return [device.table_row() for device in all_devices()]
+
+
+def render_table2() -> str:
+    """Human-readable Table II."""
+    return format_table(
+        reproduce_table2(),
+        columns=[
+            "machine",
+            "qubits",
+            "t1_us",
+            "t2_us",
+            "gate_time_1q_us",
+            "gate_time_2q_us",
+            "readout_time_us",
+            "error_1q_pct",
+            "error_2q_pct",
+            "readout_error_pct",
+            "topology",
+            "estimated",
+        ],
+    )

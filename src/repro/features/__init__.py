@@ -1,0 +1,31 @@
+"""The six SupermarQ application features plus typical size features."""
+
+from .features import (
+    FEATURE_NAMES,
+    TYPICAL_FEATURE_NAMES,
+    FeatureVector,
+    compute_features,
+    critical_depth,
+    entanglement_ratio,
+    feature_vector,
+    liveness,
+    measurement,
+    parallelism,
+    program_communication,
+    typical_features,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "TYPICAL_FEATURE_NAMES",
+    "FeatureVector",
+    "compute_features",
+    "feature_vector",
+    "program_communication",
+    "critical_depth",
+    "entanglement_ratio",
+    "parallelism",
+    "liveness",
+    "measurement",
+    "typical_features",
+]

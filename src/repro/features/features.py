@@ -1,0 +1,194 @@
+"""The SupermarQ feature vectors (Section III-B of the paper).
+
+Six hardware-agnostic features characterise how a benchmark stresses a QPU:
+
+* Program Communication (Eq. 1) — density of the qubit interaction graph.
+* Critical-Depth (Eq. 2) — fraction of two-qubit gates on the critical path.
+* Entanglement-Ratio (Eq. 3) — fraction of operations that are two-qubit.
+* Parallelism (Eq. 4) — how many operations are packed per layer.
+* Liveness (Eq. 5) — fraction of qubit-timesteps that are active.
+* Measurement (Eq. 6) — fraction of layers with mid-circuit measure/reset.
+
+Every feature lies in [0, 1].  The module also exposes the "typical"
+features (qubit count, two-qubit gate count, depth) used as the comparison
+baseline in Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import Circuit, circuit_moments, liveness_matrix
+
+__all__ = [
+    "FEATURE_NAMES",
+    "TYPICAL_FEATURE_NAMES",
+    "program_communication",
+    "critical_depth",
+    "entanglement_ratio",
+    "parallelism",
+    "liveness",
+    "measurement",
+    "feature_vector",
+    "FeatureVector",
+    "compute_features",
+    "typical_features",
+]
+
+#: Canonical ordering of the six SupermarQ features.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "program_communication",
+    "critical_depth",
+    "entanglement_ratio",
+    "parallelism",
+    "liveness",
+    "measurement",
+)
+
+#: The conventional circuit-size features used for comparison in Fig. 3.
+TYPICAL_FEATURE_NAMES: Tuple[str, ...] = ("num_qubits", "num_two_qubit_gates", "depth")
+
+
+def _clip_unit(value: float) -> float:
+    return float(min(max(value, 0.0), 1.0))
+
+
+def program_communication(circuit: Circuit) -> float:
+    """Average interaction-graph degree, normalised by the complete graph (Eq. 1)."""
+    n = circuit.num_qubits
+    if n <= 1:
+        return 0.0
+    graph = circuit.interaction_graph()
+    degree_sum = sum(dict(graph.degree()).values())
+    return _clip_unit(degree_sum / (n * (n - 1)))
+
+
+def critical_depth(circuit: Circuit) -> float:
+    """Two-qubit gates on the critical path over all two-qubit gates (Eq. 2)."""
+    total_two_qubit = circuit.num_two_qubit_gates()
+    if total_two_qubit == 0:
+        return 0.0
+    on_path, _length = circuit.two_qubit_critical_path()
+    return _clip_unit(on_path / total_two_qubit)
+
+
+def entanglement_ratio(circuit: Circuit) -> float:
+    """Fraction of operations that are multi-qubit unitaries (Eq. 3)."""
+    total = circuit.num_gates(include_measurements=True)
+    if total == 0:
+        return 0.0
+    return _clip_unit(circuit.num_two_qubit_gates() / total)
+
+
+def parallelism(circuit: Circuit) -> float:
+    """How densely operations are packed into layers (Eq. 4)."""
+    n = circuit.num_qubits
+    if n <= 1:
+        return 0.0
+    depth = circuit.depth()
+    if depth == 0:
+        return 0.0
+    total = circuit.num_gates(include_measurements=True)
+    value = (total / depth - 1.0) / (n - 1.0)
+    return _clip_unit(value)
+
+
+def liveness(circuit: Circuit) -> float:
+    """Fraction of qubit-timesteps in which the qubit is active (Eq. 5)."""
+    matrix = liveness_matrix(circuit)
+    if matrix.size == 0:
+        return 0.0
+    return _clip_unit(float(matrix.sum()) / matrix.size)
+
+
+def measurement(circuit: Circuit) -> float:
+    """Fraction of layers containing mid-circuit measurement or reset (Eq. 6)."""
+    layers = circuit_moments(circuit)
+    if not layers:
+        return 0.0
+    mid_circuit_indices = _mid_circuit_collapse_instructions(circuit)
+    layers_with_collapse = 0
+    for layer in layers:
+        if any(id(instruction) in mid_circuit_indices for instruction in layer):
+            layers_with_collapse += 1
+    return _clip_unit(layers_with_collapse / len(layers))
+
+
+def _mid_circuit_collapse_instructions(circuit: Circuit) -> set[int]:
+    """Identity set (by ``id``) of resets and non-terminal measurements."""
+    instructions = list(circuit)
+    touched_later: set[int] = set()
+    collapse: set[int] = set()
+    for instruction in reversed(instructions):
+        if instruction.is_barrier():
+            continue
+        if instruction.is_reset():
+            collapse.add(id(instruction))
+            touched_later.update(instruction.qubits)
+        elif instruction.is_measurement():
+            if instruction.qubits[0] in touched_later:
+                collapse.add(id(instruction))
+            touched_later.add(instruction.qubits[0])
+        else:
+            touched_later.update(instruction.qubits)
+    return collapse
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """A named, ordered SupermarQ feature vector."""
+
+    program_communication: float
+    critical_depth: float
+    entanglement_ratio: float
+    parallelism: float
+    liveness: float
+    measurement: float
+
+    def as_array(self) -> np.ndarray:
+        return np.array(
+            [
+                self.program_communication,
+                self.critical_depth,
+                self.entanglement_ratio,
+                self.parallelism,
+                self.liveness,
+                self.measurement,
+            ],
+            dtype=float,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in FEATURE_NAMES}
+
+    def __iter__(self):
+        return iter(self.as_array())
+
+
+def compute_features(circuit: Circuit) -> FeatureVector:
+    """Compute all six SupermarQ features of a circuit."""
+    return FeatureVector(
+        program_communication=program_communication(circuit),
+        critical_depth=critical_depth(circuit),
+        entanglement_ratio=entanglement_ratio(circuit),
+        parallelism=parallelism(circuit),
+        liveness=liveness(circuit),
+        measurement=measurement(circuit),
+    )
+
+
+def feature_vector(circuit: Circuit) -> np.ndarray:
+    """The six features as an array ordered by :data:`FEATURE_NAMES`."""
+    return compute_features(circuit).as_array()
+
+
+def typical_features(circuit: Circuit) -> Dict[str, float]:
+    """The conventional size features used as a baseline in Fig. 3."""
+    return {
+        "num_qubits": float(circuit.num_qubits),
+        "num_two_qubit_gates": float(circuit.num_two_qubit_gates()),
+        "depth": float(circuit.depth()),
+    }

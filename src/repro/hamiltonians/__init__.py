@@ -1,0 +1,20 @@
+"""Model Hamiltonians: the 1D TFIM, the SK spin glass and Trotterisation."""
+
+from .ising import (
+    TransverseFieldIsing,
+    tfim_exact_ground_energy,
+    tfim_free_fermion_ground_energy,
+    tfim_hamiltonian,
+)
+from .sk_model import SKModel
+from .trotter import TimeDependentTFIM, trotter_circuit
+
+__all__ = [
+    "TransverseFieldIsing",
+    "tfim_hamiltonian",
+    "tfim_exact_ground_energy",
+    "tfim_free_fermion_ground_energy",
+    "SKModel",
+    "TimeDependentTFIM",
+    "trotter_circuit",
+]

@@ -1,0 +1,5 @@
+"""Classical optimizers used by the variational benchmark proxies."""
+
+from .optimizers import OptimizationResult, grid_search, minimize_nelder_mead, minimize_spsa
+
+__all__ = ["OptimizationResult", "grid_search", "minimize_nelder_mead", "minimize_spsa"]

@@ -1,0 +1,186 @@
+"""Classical optimizers for the variational benchmarks.
+
+The paper replaces the full variational QAOA/VQE loops by single-iteration
+proxy applications, with the optimal parameters found classically
+beforehand.  These optimizers provide that classical step (and enable the
+full variational loop as an extension):
+
+* :func:`minimize_nelder_mead` — a dependency-free Nelder-Mead simplex.
+* :func:`minimize_spsa` — simultaneous perturbation stochastic approximation,
+  suitable for noisy (shot-based) objective functions.
+* :func:`grid_search` — brute-force search on a parameter grid, used for the
+  one-layer QAOA landscape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+__all__ = ["OptimizationResult", "minimize_nelder_mead", "minimize_spsa", "grid_search"]
+
+Objective = Callable[[np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of a classical minimisation.
+
+    Attributes:
+        parameters: Best parameter vector found.
+        value: Objective value at ``parameters``.
+        evaluations: Number of objective evaluations used.
+        converged: Whether the stopping tolerance was reached (as opposed to
+            running out of iterations).
+    """
+
+    parameters: np.ndarray
+    value: float
+    evaluations: int
+    converged: bool
+
+
+def minimize_nelder_mead(
+    objective: Objective,
+    initial: Sequence[float],
+    max_iterations: int = 400,
+    tolerance: float = 1e-6,
+    initial_step: float = 0.25,
+) -> OptimizationResult:
+    """Minimise ``objective`` with the Nelder-Mead simplex method."""
+    x0 = np.asarray(initial, dtype=float)
+    if x0.ndim != 1 or x0.size == 0:
+        raise ReproError("initial parameters must be a non-empty 1D sequence")
+    dimension = x0.size
+    evaluations = 0
+
+    def evaluate(point: np.ndarray) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return float(objective(point))
+
+    # Build the initial simplex.
+    simplex = [x0]
+    for i in range(dimension):
+        vertex = x0.copy()
+        vertex[i] += initial_step if vertex[i] == 0 else initial_step * max(abs(vertex[i]), 1.0)
+        simplex.append(vertex)
+    values = [evaluate(vertex) for vertex in simplex]
+
+    alpha, gamma, rho, sigma = 1.0, 2.0, 0.5, 0.5
+    converged = False
+    for _ in range(max_iterations):
+        order = np.argsort(values)
+        simplex = [simplex[i] for i in order]
+        values = [values[i] for i in order]
+        if abs(values[-1] - values[0]) < tolerance:
+            converged = True
+            break
+        centroid = np.mean(simplex[:-1], axis=0)
+        reflected = centroid + alpha * (centroid - simplex[-1])
+        reflected_value = evaluate(reflected)
+        if values[0] <= reflected_value < values[-2]:
+            simplex[-1], values[-1] = reflected, reflected_value
+            continue
+        if reflected_value < values[0]:
+            expanded = centroid + gamma * (reflected - centroid)
+            expanded_value = evaluate(expanded)
+            if expanded_value < reflected_value:
+                simplex[-1], values[-1] = expanded, expanded_value
+            else:
+                simplex[-1], values[-1] = reflected, reflected_value
+            continue
+        contracted = centroid + rho * (simplex[-1] - centroid)
+        contracted_value = evaluate(contracted)
+        if contracted_value < values[-1]:
+            simplex[-1], values[-1] = contracted, contracted_value
+            continue
+        # Shrink toward the best vertex.
+        best = simplex[0]
+        for i in range(1, len(simplex)):
+            simplex[i] = best + sigma * (simplex[i] - best)
+            values[i] = evaluate(simplex[i])
+
+    best_index = int(np.argmin(values))
+    return OptimizationResult(
+        parameters=np.asarray(simplex[best_index]),
+        value=float(values[best_index]),
+        evaluations=evaluations,
+        converged=converged,
+    )
+
+
+def minimize_spsa(
+    objective: Objective,
+    initial: Sequence[float],
+    max_iterations: int = 200,
+    a: float = 0.2,
+    c: float = 0.1,
+    alpha: float = 0.602,
+    gamma: float = 0.101,
+    seed: int | None = None,
+) -> OptimizationResult:
+    """Minimise a (possibly noisy) objective with SPSA.
+
+    SPSA estimates the gradient from two evaluations per iteration regardless
+    of dimension, which is the standard choice when the objective is measured
+    on quantum hardware with shot noise.
+    """
+    x = np.asarray(initial, dtype=float).copy()
+    if x.ndim != 1 or x.size == 0:
+        raise ReproError("initial parameters must be a non-empty 1D sequence")
+    rng = np.random.default_rng(seed)
+    evaluations = 0
+    best_x = x.copy()
+    best_value = float(objective(x))
+    evaluations += 1
+
+    for k in range(1, max_iterations + 1):
+        ak = a / (k + 10) ** alpha
+        ck = c / k**gamma
+        delta = rng.choice((-1.0, 1.0), size=x.size)
+        plus = float(objective(x + ck * delta))
+        minus = float(objective(x - ck * delta))
+        evaluations += 2
+        gradient = (plus - minus) / (2.0 * ck) * delta
+        x = x - ak * gradient
+        value = float(objective(x))
+        evaluations += 1
+        if value < best_value:
+            best_value = value
+            best_x = x.copy()
+
+    return OptimizationResult(
+        parameters=best_x, value=best_value, evaluations=evaluations, converged=True
+    )
+
+
+def grid_search(
+    objective: Objective,
+    bounds: Sequence[Tuple[float, float]],
+    resolution: int = 25,
+) -> OptimizationResult:
+    """Exhaustive minimisation over a regular grid (small dimensions only)."""
+    if not bounds:
+        raise ReproError("grid_search needs at least one parameter range")
+    if len(bounds) > 3:
+        raise ReproError("grid_search is limited to three dimensions")
+    axes = [np.linspace(low, high, resolution) for low, high in bounds]
+    grids = np.meshgrid(*axes, indexing="ij")
+    best_value = float("inf")
+    best_point = np.array([axis[0] for axis in axes])
+    evaluations = 0
+    for index in np.ndindex(*grids[0].shape):
+        point = np.array([grid[index] for grid in grids])
+        value = float(objective(point))
+        evaluations += 1
+        if value < best_value:
+            best_value = value
+            best_point = point
+    return OptimizationResult(
+        parameters=best_point, value=best_value, evaluations=evaluations, converged=True
+    )

@@ -1,0 +1,5 @@
+"""Pauli operator algebra: strings, weighted sums and expectation values."""
+
+from .pauli import PauliString, PauliSum, PauliTerm
+
+__all__ = ["PauliString", "PauliSum", "PauliTerm"]

@@ -1,0 +1,44 @@
+"""Simulation backends: ideal and noisy statevector, exact density matrix."""
+
+from .density_matrix import DensityMatrixSimulator
+from .noise import (
+    KrausChannel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    depolarizing_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    thermal_relaxation_channel,
+    two_qubit_depolarizing_channel,
+)
+from .noise_model import NoiseModel
+from .result import Counts, hellinger_fidelity_counts
+from .statevector import (
+    StatevectorSimulator,
+    apply_unitary,
+    circuit_unitary,
+    final_statevector,
+    probabilities_from_statevector,
+    sample_statevector,
+)
+
+__all__ = [
+    "Counts",
+    "hellinger_fidelity_counts",
+    "KrausChannel",
+    "depolarizing_channel",
+    "two_qubit_depolarizing_channel",
+    "bit_flip_channel",
+    "phase_flip_channel",
+    "amplitude_damping_channel",
+    "phase_damping_channel",
+    "thermal_relaxation_channel",
+    "NoiseModel",
+    "StatevectorSimulator",
+    "DensityMatrixSimulator",
+    "apply_unitary",
+    "final_statevector",
+    "circuit_unitary",
+    "probabilities_from_statevector",
+    "sample_statevector",
+]

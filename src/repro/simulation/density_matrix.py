@@ -1,0 +1,189 @@
+"""Exact density-matrix simulation.
+
+The density-matrix simulator applies every noise channel exactly, which makes
+it the reference implementation the Monte-Carlo trajectory simulator is
+validated against in the test suite.  Memory scales as ``4**n`` so it is only
+practical for small circuits (roughly up to 8 qubits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import Circuit
+from ..exceptions import SimulationError
+from .result import Counts
+from .statevector import apply_unitary
+
+__all__ = ["apply_kraus_to_density_matrix", "DensityMatrixSimulator"]
+
+
+def _apply_operator_left(rho: np.ndarray, operator: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Compute ``(O ⊗ I) rho`` where O acts on the listed qubits."""
+    dim = 2**num_qubits
+    # rho columns are statevectors of the "ket" side; apply O to each column.
+    return np.column_stack(
+        [apply_unitary(rho[:, col], operator, qubits, num_qubits) for col in range(dim)]
+    )
+
+
+def apply_kraus_to_density_matrix(
+    rho: np.ndarray,
+    kraus_operators: Sequence[np.ndarray],
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Exact application of a Kraus channel to a density matrix."""
+    result = np.zeros_like(rho)
+    for operator in kraus_operators:
+        left = _apply_operator_left(rho, operator, qubits, num_qubits)
+        # (O rho) O^dagger  ==  conj(O (conj(O rho))^T)^T applied on the bra side.
+        right = _apply_operator_left(left.conj().T, operator, qubits, num_qubits).conj().T
+        result += right
+    return result
+
+
+def apply_unitary_to_density_matrix(
+    rho: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    return apply_kraus_to_density_matrix(rho, [matrix], qubits, num_qubits)
+
+
+class DensityMatrixSimulator:
+    """Exact mixed-state simulator supporting noise, measurement and reset."""
+
+    def __init__(self, noise_model=None, seed: int | None = None, max_qubits: int = 10) -> None:
+        self.noise_model = noise_model
+        self._rng = np.random.default_rng(seed)
+        self.max_qubits = max_qubits
+
+    # ------------------------------------------------------------------
+    def run(self, circuit: Circuit, shots: int = 1024) -> Counts:
+        """Execute the circuit exactly and sample ``shots`` outcomes."""
+        probabilities, clbit_patterns = self._output_distribution(circuit)
+        samples = self._rng.choice(len(probabilities), size=shots, p=probabilities)
+        counts: Dict[str, int] = {}
+        for sample in samples:
+            key = clbit_patterns[int(sample)]
+            counts[key] = counts.get(key, 0) + 1
+        return Counts(counts, num_bits=circuit.num_clbits)
+
+    def final_density_matrix(self, circuit: Circuit) -> np.ndarray:
+        """Density matrix right before any terminal measurement sampling.
+
+        Mid-circuit measurements are treated as non-selective (dephasing)
+        operations followed by classically correlated branches, so this method
+        only supports circuits without mid-circuit measurement; resets are
+        supported.
+        """
+        rho, _pending = self._evolve(circuit, allow_pending_only=True)
+        return rho
+
+    # ------------------------------------------------------------------
+    def _output_distribution(self, circuit: Circuit) -> Tuple[np.ndarray, List[str]]:
+        """Probability of every computational basis outcome and its bitstring key."""
+        num_qubits = circuit.num_qubits
+        if num_qubits > self.max_qubits:
+            raise SimulationError(
+                f"DensityMatrixSimulator limited to {self.max_qubits} qubits "
+                f"(requested {num_qubits})"
+            )
+        rho, measured = self._evolve(circuit, allow_pending_only=False)
+        probabilities = np.clip(np.real(np.diag(rho)), 0.0, None)
+        total = probabilities.sum()
+        if total <= 0:
+            raise SimulationError("density matrix has zero trace")
+        probabilities = probabilities / total
+
+        if self.noise_model is not None:
+            probabilities = self._apply_readout_confusion(probabilities, measured, num_qubits)
+
+        patterns = []
+        for index in range(len(probabilities)):
+            bits = ["0"] * circuit.num_clbits
+            for qubit, clbit in measured:
+                bits[clbit] = "1" if (index >> qubit) & 1 else "0"
+            patterns.append("".join(bits))
+        return probabilities, patterns
+
+    def _evolve(self, circuit: Circuit, allow_pending_only: bool) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+        num_qubits = circuit.num_qubits
+        if num_qubits > self.max_qubits:
+            raise SimulationError(
+                f"DensityMatrixSimulator limited to {self.max_qubits} qubits "
+                f"(requested {num_qubits})"
+            )
+        dim = 2**num_qubits
+        rho = np.zeros((dim, dim), dtype=complex)
+        rho[0, 0] = 1.0
+        measured: List[Tuple[int, int]] = []
+        measured_qubits: set[int] = set()
+
+        for instruction in circuit:
+            if instruction.is_barrier():
+                continue
+            if instruction.is_measurement():
+                qubit = instruction.qubits[0]
+                if qubit in measured_qubits:
+                    raise SimulationError(
+                        "DensityMatrixSimulator does not support measuring the same qubit twice"
+                    )
+                # Non-selective measurement = dephasing in the computational basis.
+                rho = self._dephase(rho, qubit, num_qubits)
+                measured.append((qubit, instruction.clbits[0]))
+                measured_qubits.add(qubit)
+                continue
+            if any(q in measured_qubits for q in instruction.qubits):
+                raise SimulationError(
+                    "DensityMatrixSimulator does not support operations after measurement "
+                    "on the same qubit"
+                )
+            if instruction.is_reset():
+                rho = self._reset(rho, instruction.qubits[0], num_qubits)
+                if self.noise_model is not None:
+                    for channel, qubits in self.noise_model.reset_channels(instruction.qubits[0]):
+                        rho = apply_kraus_to_density_matrix(
+                            rho, channel.kraus_operators, qubits, num_qubits
+                        )
+                continue
+            rho = apply_unitary_to_density_matrix(
+                rho, instruction.gate.matrix(), instruction.qubits, num_qubits
+            )
+            if self.noise_model is not None:
+                for channel, qubits in self.noise_model.gate_channels(instruction):
+                    rho = apply_kraus_to_density_matrix(
+                        rho, channel.kraus_operators, qubits, num_qubits
+                    )
+        return rho, measured
+
+    def _dephase(self, rho: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+        p0 = np.zeros((2, 2), dtype=complex)
+        p0[0, 0] = 1.0
+        p1 = np.zeros((2, 2), dtype=complex)
+        p1[1, 1] = 1.0
+        return apply_kraus_to_density_matrix(rho, [p0, p1], [qubit], num_qubits)
+
+    def _reset(self, rho: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+        p0 = np.zeros((2, 2), dtype=complex)
+        p0[0, 0] = 1.0
+        lower = np.zeros((2, 2), dtype=complex)
+        lower[0, 1] = 1.0
+        return apply_kraus_to_density_matrix(rho, [p0, lower], [qubit], num_qubits)
+
+    def _apply_readout_confusion(
+        self, probabilities: np.ndarray, measured: List[Tuple[int, int]], num_qubits: int
+    ) -> np.ndarray:
+        """Mix the outcome distribution through per-qubit readout error."""
+        result = probabilities.copy()
+        for qubit, _clbit in measured:
+            error = self.noise_model.readout_error_probability(qubit)
+            if error <= 0:
+                continue
+            flipped = result.copy()
+            indices = np.arange(len(result))
+            partner = indices ^ (1 << qubit)
+            flipped = result[partner]
+            result = (1 - error) * result + error * flipped
+        return result

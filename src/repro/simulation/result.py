@@ -1,0 +1,90 @@
+"""Execution results: bitstring counts and helpers.
+
+Bitstrings are keyed with classical bit 0 as the left-most character, the
+same convention the circuit IR uses for qubits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+from ..exceptions import SimulationError
+
+__all__ = ["Counts", "hellinger_fidelity_counts"]
+
+
+class Counts(dict):
+    """A dictionary of bitstring -> number of shots with convenience methods."""
+
+    def __init__(self, data: Mapping[str, int] | None = None, num_bits: int | None = None) -> None:
+        super().__init__()
+        if data:
+            for key, value in data.items():
+                self[key] = self.get(key, 0) + int(value)
+        if num_bits is None:
+            num_bits = len(next(iter(self))) if self else 0
+        self.num_bits = num_bits
+
+    @property
+    def shots(self) -> int:
+        return sum(self.values())
+
+    def probabilities(self) -> Dict[str, float]:
+        """Normalised distribution over observed bitstrings."""
+        total = self.shots
+        if total == 0:
+            raise SimulationError("cannot normalise an empty Counts object")
+        return {key: value / total for key, value in self.items()}
+
+    def merged(self, other: Mapping[str, int]) -> "Counts":
+        merged = Counts(dict(self), num_bits=self.num_bits)
+        for key, value in other.items():
+            merged[key] = merged.get(key, 0) + int(value)
+        return merged
+
+    def marginal(self, bits: Iterable[int]) -> "Counts":
+        """Marginalise onto the given classical bit positions (in order)."""
+        positions = list(bits)
+        out: Dict[str, int] = {}
+        for key, value in self.items():
+            reduced = "".join(key[p] for p in positions)
+            out[reduced] = out.get(reduced, 0) + value
+        return Counts(out, num_bits=len(positions))
+
+    def most_frequent(self) -> str:
+        if not self:
+            raise SimulationError("empty Counts object")
+        return max(self.items(), key=lambda item: item[1])[0]
+
+    def expectation_parity(self, bits: Iterable[int] | None = None) -> float:
+        """Expectation of the parity observable over the given bits (all by default)."""
+        positions = list(bits) if bits is not None else list(range(self.num_bits))
+        total = self.shots
+        if total == 0:
+            raise SimulationError("empty Counts object")
+        value = 0.0
+        for key, shots in self.items():
+            parity = sum(int(key[p]) for p in positions) % 2
+            value += (1.0 if parity == 0 else -1.0) * shots
+        return value / total
+
+
+def hellinger_fidelity_counts(counts_a: Mapping[str, int], counts_b: Mapping[str, float]) -> float:
+    """Hellinger fidelity between two (possibly unnormalised) distributions.
+
+    This is the score function of the GHZ and error-correction benchmarks:
+    ``(sum_x sqrt(p(x) q(x)))**2``, which is 1 for identical distributions and
+    0 for disjoint ones.
+    """
+    total_a = float(sum(counts_a.values()))
+    total_b = float(sum(counts_b.values()))
+    if total_a <= 0 or total_b <= 0:
+        raise SimulationError("cannot compare empty distributions")
+    overlap = 0.0
+    for key, value in counts_a.items():
+        q = counts_b.get(key, 0.0)
+        if q > 0:
+            overlap += np.sqrt((value / total_a) * (q / total_b))
+    return float(overlap**2)

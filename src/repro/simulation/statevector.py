@@ -1,0 +1,381 @@
+"""Statevector simulation.
+
+Two entry points:
+
+* :func:`final_statevector` — ideal evolution of a measurement-free circuit.
+* :class:`StatevectorSimulator` — shot-based execution supporting mid-circuit
+  measurement, reset and (via Monte-Carlo Kraus trajectories) a
+  :class:`~repro.simulation.noise_model.NoiseModel`.
+
+Indexing convention: qubit 0 is the least significant bit of the statevector
+index and the left-most character of result bitstrings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import Circuit, Instruction
+from ..exceptions import SimulationError
+from .result import Counts
+
+__all__ = [
+    "apply_unitary",
+    "final_statevector",
+    "circuit_unitary",
+    "probabilities_from_statevector",
+    "sample_statevector",
+    "StatevectorSimulator",
+]
+
+
+def apply_unitary(
+    state: np.ndarray, matrix: np.ndarray, targets: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a k-qubit unitary to the listed target qubits of a statevector.
+
+    The matrix uses the convention that ``targets[0]`` is the most significant
+    bit of the matrix index (textbook ordering).
+    """
+    k = len(targets)
+    if matrix.shape != (2**k, 2**k):
+        raise SimulationError(
+            f"matrix shape {matrix.shape} does not match {k} target qubits"
+        )
+    psi = state.reshape((2,) * num_qubits)
+    # Axis for qubit q in the C-ordered tensor is (num_qubits - 1 - q).
+    axes = [num_qubits - 1 - q for q in targets]
+    tensor = matrix.reshape((2,) * (2 * k))
+    moved = np.tensordot(tensor, psi, axes=(list(range(k, 2 * k)), axes))
+    # tensordot puts the gate's output axes first, in target order; move back.
+    psi = np.moveaxis(moved, list(range(k)), axes)
+    return np.ascontiguousarray(psi).reshape(-1)
+
+
+def final_statevector(circuit: Circuit, initial_state: np.ndarray | None = None) -> np.ndarray:
+    """Ideal final statevector of a circuit.
+
+    Terminal measurements are ignored; mid-circuit measurements or resets
+    raise :class:`SimulationError` because the output would not be a pure
+    state (use :class:`StatevectorSimulator` instead).
+    """
+    num_qubits = circuit.num_qubits
+    dim = 2**num_qubits
+    if initial_state is None:
+        state = np.zeros(dim, dtype=complex)
+        state[0] = 1.0
+    else:
+        state = np.asarray(initial_state, dtype=complex).copy()
+        if state.shape != (dim,):
+            raise SimulationError("initial state dimension mismatch")
+
+    seen_measurement_qubits: set[int] = set()
+    for instruction in circuit:
+        if instruction.is_barrier():
+            continue
+        if instruction.is_measurement():
+            seen_measurement_qubits.add(instruction.qubits[0])
+            continue
+        if instruction.is_reset():
+            raise SimulationError(
+                "circuit contains reset; use StatevectorSimulator for shot-based runs"
+            )
+        if any(q in seen_measurement_qubits for q in instruction.qubits):
+            raise SimulationError(
+                "circuit contains mid-circuit measurement; use StatevectorSimulator"
+            )
+        state = apply_unitary(state, instruction.gate.matrix(), instruction.qubits, num_qubits)
+    return state
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """Dense unitary of a measurement-free circuit (exponential cost)."""
+    num_qubits = circuit.num_qubits
+    dim = 2**num_qubits
+    unitary = np.eye(dim, dtype=complex)
+    for instruction in circuit:
+        if instruction.is_barrier():
+            continue
+        if not instruction.is_unitary():
+            raise SimulationError("circuit_unitary requires a measurement-free circuit")
+        full = np.zeros((dim, dim), dtype=complex)
+        for column in range(dim):
+            basis = np.zeros(dim, dtype=complex)
+            basis[column] = 1.0
+            full[:, column] = apply_unitary(
+                basis, instruction.gate.matrix(), instruction.qubits, num_qubits
+            )
+        unitary = full @ unitary
+    return unitary
+
+
+def probabilities_from_statevector(state: np.ndarray) -> np.ndarray:
+    """Born-rule probabilities of all computational basis states."""
+    probabilities = np.abs(state) ** 2
+    total = probabilities.sum()
+    if total <= 0:
+        raise SimulationError("statevector has zero norm")
+    return probabilities / total
+
+
+def _index_to_bitstring(index: int, qubits: Sequence[int], clbits: Sequence[int], num_clbits: int) -> str:
+    bits = ["0"] * num_clbits
+    for qubit, clbit in zip(qubits, clbits):
+        bits[clbit] = "1" if (index >> qubit) & 1 else "0"
+    return "".join(bits)
+
+
+def sample_statevector(
+    state: np.ndarray,
+    shots: int,
+    qubits: Sequence[int] | None = None,
+    clbits: Sequence[int] | None = None,
+    num_clbits: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> Counts:
+    """Sample measurement outcomes of the given qubits from a statevector."""
+    generator = rng if rng is not None else np.random.default_rng()
+    num_qubits = int(np.log2(len(state)))
+    if qubits is None:
+        qubits = list(range(num_qubits))
+    if clbits is None:
+        clbits = list(range(len(qubits)))
+    if num_clbits is None:
+        num_clbits = max(clbits) + 1 if clbits else 0
+    probabilities = probabilities_from_statevector(state)
+    samples = generator.choice(len(probabilities), size=shots, p=probabilities)
+    counts: Dict[str, int] = {}
+    for index in samples:
+        key = _index_to_bitstring(int(index), qubits, clbits, num_clbits)
+        counts[key] = counts.get(key, 0) + 1
+    return Counts(counts, num_bits=num_clbits)
+
+
+class StatevectorSimulator:
+    """Shot-based statevector simulator with optional Monte-Carlo noise.
+
+    Args:
+        noise_model: Optional :class:`~repro.simulation.noise_model.NoiseModel`.
+            When present, each trajectory stochastically applies one Kraus
+            operator per channel (exact in expectation).
+        seed: Seed for the internal random generator.
+        trajectories: Number of independent noisy trajectories used to spread
+            the requested shots over.  ``None`` (default) uses one trajectory
+            per shot when the circuit is noisy or contains mid-circuit
+            measurement/reset, and a single final-state sampling pass
+            otherwise.
+    """
+
+    def __init__(
+        self,
+        noise_model=None,
+        seed: int | None = None,
+        trajectories: int | None = None,
+    ) -> None:
+        self.noise_model = noise_model
+        self._rng = np.random.default_rng(seed)
+        self.trajectories = trajectories
+
+    # ------------------------------------------------------------------
+    def run(self, circuit: Circuit, shots: int = 1024) -> Counts:
+        """Execute the circuit and return bitstring counts."""
+        if shots <= 0:
+            raise SimulationError("shots must be positive")
+        needs_trajectories = self.noise_model is not None or _has_collapse(circuit)
+        if not needs_trajectories:
+            state = final_statevector(circuit)
+            qubits, clbits = _measurement_map(circuit)
+            if not qubits:
+                raise SimulationError("circuit has no measurements to sample")
+            return sample_statevector(
+                state, shots, qubits, clbits, circuit.num_clbits, self._rng
+            )
+        num_trajectories = self.trajectories or shots
+        num_trajectories = min(num_trajectories, shots)
+        base, remainder = divmod(shots, num_trajectories)
+        counts: Dict[str, int] = {}
+        for t in range(num_trajectories):
+            shots_here = base + (1 if t < remainder else 0)
+            if shots_here == 0:
+                continue
+            key_counts = self._run_single_trajectory(circuit, shots_here)
+            for key, value in key_counts.items():
+                counts[key] = counts.get(key, 0) + value
+        return Counts(counts, num_bits=circuit.num_clbits)
+
+    # ------------------------------------------------------------------
+    def statevector(self, circuit: Circuit) -> np.ndarray:
+        """Ideal statevector (no noise), for analysis and tests."""
+        return final_statevector(circuit)
+
+    # ------------------------------------------------------------------
+    def _run_single_trajectory(self, circuit: Circuit, shots: int) -> Dict[str, int]:
+        num_qubits = circuit.num_qubits
+        state = np.zeros(2**num_qubits, dtype=complex)
+        state[0] = 1.0
+        classical = ["0"] * circuit.num_clbits
+        sampled_at_end: List[Tuple[int, int]] = []  # (qubit, clbit) terminal measurements
+
+        instructions = list(circuit)
+        terminal = _terminal_measurements(circuit)
+
+        for index, instruction in enumerate(instructions):
+            if instruction.is_barrier():
+                continue
+            if instruction.is_measurement():
+                if index in terminal:
+                    sampled_at_end.append((instruction.qubits[0], instruction.clbits[0]))
+                    continue
+                outcome, state = self._measure_qubit(state, instruction.qubits[0], num_qubits)
+                if self.noise_model is not None:
+                    outcome = self.noise_model.apply_readout_error(
+                        instruction.qubits[0], outcome, self._rng
+                    )
+                    state = self._apply_noise_channels(
+                        state,
+                        self.noise_model.measurement_channels(instruction.qubits[0]),
+                        num_qubits,
+                    )
+                classical[instruction.clbits[0]] = str(outcome)
+                continue
+            if instruction.is_reset():
+                outcome, state = self._measure_qubit(state, instruction.qubits[0], num_qubits)
+                if outcome == 1:
+                    from ..circuits.gates import gate_matrix
+
+                    state = apply_unitary(state, gate_matrix("x"), (instruction.qubits[0],), num_qubits)
+                if self.noise_model is not None:
+                    state = self._apply_noise_channels(
+                        state, self.noise_model.reset_channels(instruction.qubits[0]), num_qubits
+                    )
+                continue
+            state = apply_unitary(state, instruction.gate.matrix(), instruction.qubits, num_qubits)
+            if self.noise_model is not None:
+                state = self._apply_noise_channels(
+                    state, self.noise_model.gate_channels(instruction), num_qubits
+                )
+
+        counts: Dict[str, int] = {}
+        if sampled_at_end:
+            qubits = [q for q, _ in sampled_at_end]
+            clbits = [c for _, c in sampled_at_end]
+            probabilities = probabilities_from_statevector(state)
+            samples = self._rng.choice(len(probabilities), size=shots, p=probabilities)
+            for sample in samples:
+                bits = list(classical)
+                for qubit, clbit in zip(qubits, clbits):
+                    outcome = (int(sample) >> qubit) & 1
+                    if self.noise_model is not None:
+                        outcome = self.noise_model.apply_readout_error(qubit, outcome, self._rng)
+                    bits[clbit] = str(outcome)
+                key = "".join(bits)
+                counts[key] = counts.get(key, 0) + 1
+        else:
+            key = "".join(classical)
+            counts[key] = shots
+        return counts
+
+    def _measure_qubit(self, state: np.ndarray, qubit: int, num_qubits: int) -> Tuple[int, np.ndarray]:
+        """Projectively measure one qubit, collapsing and renormalising."""
+        probabilities = np.abs(state) ** 2
+        indices = np.arange(len(state))
+        mask_one = ((indices >> qubit) & 1).astype(bool)
+        p_one = float(probabilities[mask_one].sum())
+        p_one = min(max(p_one, 0.0), 1.0)
+        outcome = 1 if self._rng.random() < p_one else 0
+        new_state = state.copy()
+        if outcome == 1:
+            new_state[~mask_one] = 0.0
+            norm = np.sqrt(p_one)
+        else:
+            new_state[mask_one] = 0.0
+            norm = np.sqrt(max(1.0 - p_one, 0.0))
+        if norm <= 1e-15:
+            raise SimulationError("measurement collapse produced a zero-norm state")
+        return outcome, new_state / norm
+
+    def _apply_noise_channels(self, state: np.ndarray, channels, num_qubits: int) -> np.ndarray:
+        """Apply each (channel, qubits) pair by sampling one Kraus operator."""
+        for channel, qubits in channels:
+            state = self._apply_kraus_trajectory(state, channel.kraus_operators, qubits, num_qubits)
+        return state
+
+    def _apply_kraus_trajectory(
+        self,
+        state: np.ndarray,
+        kraus_operators: Sequence[np.ndarray],
+        qubits: Sequence[int],
+        num_qubits: int,
+    ) -> np.ndarray:
+        if len(kraus_operators) == 1:
+            new_state = apply_unitary(state, kraus_operators[0], qubits, num_qubits)
+            norm = np.linalg.norm(new_state)
+            if norm <= 1e-15:
+                raise SimulationError("Kraus operator annihilated the state")
+            return new_state / norm
+        candidates = []
+        weights = []
+        for operator in kraus_operators:
+            candidate = apply_unitary(state, operator, qubits, num_qubits)
+            weight = float(np.vdot(candidate, candidate).real)
+            candidates.append(candidate)
+            weights.append(max(weight, 0.0))
+        total = sum(weights)
+        if total <= 1e-15:
+            raise SimulationError("noise channel annihilated the state")
+        probabilities = np.array(weights) / total
+        choice = int(self._rng.choice(len(candidates), p=probabilities))
+        chosen = candidates[choice]
+        return chosen / np.sqrt(weights[choice])
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _has_collapse(circuit: Circuit) -> bool:
+    """True when the circuit needs per-trajectory simulation even without noise."""
+    if circuit.num_resets() > 0:
+        return True
+    return bool(_non_terminal_measurements(circuit))
+
+
+def _terminal_measurements(circuit: Circuit) -> set[int]:
+    """Indices of measurements not followed by further operations on their qubit."""
+    instructions = list(circuit)
+    touched_later: set[int] = set()
+    terminal: set[int] = set()
+    for index in range(len(instructions) - 1, -1, -1):
+        instruction = instructions[index]
+        if instruction.is_barrier():
+            continue
+        if instruction.is_measurement():
+            if instruction.qubits[0] not in touched_later:
+                terminal.add(index)
+            touched_later.add(instruction.qubits[0])
+        else:
+            touched_later.update(instruction.qubits)
+    return terminal
+
+
+def _non_terminal_measurements(circuit: Circuit) -> List[int]:
+    terminal = _terminal_measurements(circuit)
+    return [
+        index
+        for index, instruction in enumerate(circuit)
+        if instruction.is_measurement() and index not in terminal
+    ]
+
+
+def _measurement_map(circuit: Circuit) -> Tuple[List[int], List[int]]:
+    """Qubit and classical-bit lists of terminal measurements, in order."""
+    qubits: List[int] = []
+    clbits: List[int] = []
+    for instruction in circuit:
+        if instruction.is_measurement():
+            qubits.append(instruction.qubits[0])
+            clbits.append(instruction.clbits[0])
+    return qubits, clbits

@@ -1,0 +1,38 @@
+"""Compiler: decomposition, placement, routing, optimization and the pipeline."""
+
+from .decomposition import (
+    SUPPORTED_BASES,
+    basis_for_gates,
+    decompose_to_canonical,
+    translate_to_basis,
+    zyz_angles,
+)
+from .optimization import (
+    cancel_adjacent_inverses,
+    drop_negligible,
+    fuse_single_qubit_runs,
+    merge_rotations,
+    optimize_circuit,
+)
+from .placement import noise_aware_placement, trivial_placement
+from .routing import RoutedCircuit, route_circuit
+from .transpile import TranspiledCircuit, transpile
+
+__all__ = [
+    "SUPPORTED_BASES",
+    "basis_for_gates",
+    "decompose_to_canonical",
+    "translate_to_basis",
+    "zyz_angles",
+    "cancel_adjacent_inverses",
+    "drop_negligible",
+    "fuse_single_qubit_runs",
+    "merge_rotations",
+    "optimize_circuit",
+    "noise_aware_placement",
+    "trivial_placement",
+    "RoutedCircuit",
+    "route_circuit",
+    "TranspiledCircuit",
+    "transpile",
+]

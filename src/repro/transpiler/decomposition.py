@@ -1,0 +1,377 @@
+"""Gate decomposition: canonical form and native basis translation.
+
+The transpiler works in two stages.  First every gate is rewritten into the
+*canonical* gate set ``{u, cx}`` (plus measure/reset/barrier).  Second the
+canonical gates are translated to a device's native basis:
+
+* ``ibm``-style superconducting devices: ``{rz, sx, x, cx}``
+* ``aqt``-style superconducting devices:  ``{rz, sx, x, cz}``
+* ``ionq``-style trapped-ion devices:     ``{rx, ry, rz, rxx}``
+
+All identities used here are verified (up to global phase) by the unit tests
+in ``tests/transpiler/test_decomposition.py``.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import Circuit, Gate, Instruction
+from ..exceptions import TranspilerError
+from ..utils import normalize_angle
+
+__all__ = [
+    "zyz_angles",
+    "decompose_to_canonical",
+    "translate_to_basis",
+    "basis_for_gates",
+    "SUPPORTED_BASES",
+]
+
+_ANGLE_TOLERANCE = 1e-10
+
+#: Recognised native basis names and their gate sets.
+SUPPORTED_BASES: Dict[str, Tuple[str, ...]] = {
+    "ibm": ("rz", "sx", "x", "cx"),
+    "aqt": ("rz", "sx", "x", "cz"),
+    "ionq": ("rx", "ry", "rz", "rxx"),
+    "canonical": ("u", "cx"),
+}
+
+
+def basis_for_gates(basis_gates: Sequence[str]) -> str:
+    """Map a device's native gate list to one of the supported basis names."""
+    gates = set(basis_gates)
+    if "rxx" in gates:
+        return "ionq"
+    if "cz" in gates and "cx" not in gates:
+        return "aqt"
+    if "cx" in gates:
+        return "ibm"
+    raise TranspilerError(f"no translation strategy for basis gates {sorted(gates)}")
+
+
+# ---------------------------------------------------------------------------
+# ZYZ Euler decomposition of arbitrary single-qubit unitaries
+# ---------------------------------------------------------------------------
+
+
+def zyz_angles(matrix: np.ndarray) -> Tuple[float, float, float]:
+    """Return ``(theta, phi, lam)`` with ``U ~ Rz(phi) Ry(theta) Rz(lam)``.
+
+    The result is correct up to a global phase, which is irrelevant for
+    circuit execution.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise TranspilerError("zyz_angles expects a 2x2 matrix")
+    # Remove the global phase so the matrix is special unitary:
+    #   U = [[cos(t/2) e^{-i(p+l)/2}, -sin(t/2) e^{-i(p-l)/2}],
+    #        [sin(t/2) e^{+i(p-l)/2},  cos(t/2) e^{+i(p+l)/2}]]
+    determinant = np.linalg.det(matrix)
+    matrix = matrix / np.sqrt(determinant)
+    theta = 2.0 * math.atan2(abs(matrix[1, 0]), abs(matrix[0, 0]))
+    if abs(matrix[0, 0]) < _ANGLE_TOLERANCE:
+        # theta == pi: only phi - lam is determined.
+        phi = 2.0 * cmath.phase(matrix[1, 0])
+        lam = 0.0
+    elif abs(matrix[1, 0]) < _ANGLE_TOLERANCE:
+        # theta == 0: only phi + lam is determined.
+        phi = -2.0 * cmath.phase(matrix[0, 0])
+        lam = 0.0
+    else:
+        # Work with the half-angle phases directly to avoid mod-2pi ambiguity.
+        half_sum = -cmath.phase(matrix[0, 0])  # (phi + lam) / 2
+        half_diff = cmath.phase(matrix[1, 0])  # (phi - lam) / 2
+        phi = half_sum + half_diff
+        lam = half_sum - half_diff
+    return normalize_angle(theta), normalize_angle(phi), normalize_angle(lam)
+
+
+# ---------------------------------------------------------------------------
+# canonical decomposition: everything -> {u, cx}
+# ---------------------------------------------------------------------------
+
+_SINGLE_QUBIT_AS_U: Dict[str, Callable[..., Tuple[float, float, float]]] = {
+    "id": lambda: (0.0, 0.0, 0.0),
+    "x": lambda: (math.pi, 0.0, math.pi),
+    "y": lambda: (math.pi, math.pi / 2, math.pi / 2),
+    "z": lambda: (0.0, 0.0, math.pi),
+    "h": lambda: (math.pi / 2, 0.0, math.pi),
+    "s": lambda: (0.0, 0.0, math.pi / 2),
+    "sdg": lambda: (0.0, 0.0, -math.pi / 2),
+    "t": lambda: (0.0, 0.0, math.pi / 4),
+    "tdg": lambda: (0.0, 0.0, -math.pi / 4),
+    "sx": lambda: (math.pi / 2, -math.pi / 2, math.pi / 2),
+    "sxdg": lambda: (-math.pi / 2, -math.pi / 2, math.pi / 2),
+    "rx": lambda theta: (theta, -math.pi / 2, math.pi / 2),
+    "ry": lambda theta: (theta, 0.0, 0.0),
+    "rz": lambda theta: (0.0, 0.0, theta),
+    "p": lambda theta: (0.0, 0.0, theta),
+    "r": lambda theta, phi: (theta, phi - math.pi / 2, math.pi / 2 - phi),
+    "u": lambda theta, phi, lam: (theta, phi, lam),
+}
+
+
+def _u(circuit: Circuit, qubit: int, theta: float, phi: float, lam: float) -> None:
+    circuit.u(theta, phi, lam, qubit)
+
+
+def _emit_canonical(circuit: Circuit, instruction: Instruction) -> None:
+    """Append ``instruction`` to ``circuit`` using only {u, cx, measure, reset, barrier}."""
+    name = instruction.name
+    qubits = instruction.qubits
+    params = instruction.params
+
+    if name in ("measure", "reset", "barrier"):
+        circuit.append(instruction)
+        return
+    if name in _SINGLE_QUBIT_AS_U:
+        theta, phi, lam = _SINGLE_QUBIT_AS_U[name](*params)
+        _u(circuit, qubits[0], theta, phi, lam)
+        return
+    if name == "cx":
+        circuit.cx(*qubits)
+        return
+    if name == "cz":
+        c, t = qubits
+        _u(circuit, t, math.pi / 2, 0.0, math.pi)  # h
+        circuit.cx(c, t)
+        _u(circuit, t, math.pi / 2, 0.0, math.pi)
+        return
+    if name == "cy":
+        c, t = qubits
+        _u(circuit, t, 0.0, 0.0, -math.pi / 2)  # sdg
+        circuit.cx(c, t)
+        _u(circuit, t, 0.0, 0.0, math.pi / 2)  # s
+        return
+    if name == "swap":
+        a, b = qubits
+        circuit.cx(a, b)
+        circuit.cx(b, a)
+        circuit.cx(a, b)
+        return
+    if name == "cp":
+        theta = params[0]
+        c, t = qubits
+        _u(circuit, c, 0.0, 0.0, theta / 2)
+        circuit.cx(c, t)
+        _u(circuit, t, 0.0, 0.0, -theta / 2)
+        circuit.cx(c, t)
+        _u(circuit, t, 0.0, 0.0, theta / 2)
+        return
+    if name == "crz":
+        theta = params[0]
+        c, t = qubits
+        _u(circuit, t, 0.0, 0.0, theta / 2)
+        circuit.cx(c, t)
+        _u(circuit, t, 0.0, 0.0, -theta / 2)
+        circuit.cx(c, t)
+        return
+    if name == "cry":
+        theta = params[0]
+        c, t = qubits
+        _u(circuit, t, theta / 2, 0.0, 0.0)
+        circuit.cx(c, t)
+        _u(circuit, t, -theta / 2, 0.0, 0.0)
+        circuit.cx(c, t)
+        return
+    if name == "crx":
+        theta = params[0]
+        c, t = qubits
+        _u(circuit, t, math.pi / 2, 0.0, math.pi)  # h
+        _u(circuit, t, 0.0, 0.0, theta / 2)
+        circuit.cx(c, t)
+        _u(circuit, t, 0.0, 0.0, -theta / 2)
+        circuit.cx(c, t)
+        _u(circuit, t, math.pi / 2, 0.0, math.pi)
+        return
+    if name == "rzz":
+        theta = params[0]
+        a, b = qubits
+        circuit.cx(a, b)
+        _u(circuit, b, 0.0, 0.0, theta)
+        circuit.cx(a, b)
+        return
+    if name == "rxx":
+        theta = params[0]
+        a, b = qubits
+        for q in (a, b):
+            _u(circuit, q, math.pi / 2, 0.0, math.pi)  # h
+        circuit.cx(a, b)
+        _u(circuit, b, 0.0, 0.0, theta)
+        circuit.cx(a, b)
+        for q in (a, b):
+            _u(circuit, q, math.pi / 2, 0.0, math.pi)
+        return
+    if name == "ryy":
+        theta = params[0]
+        a, b = qubits
+        for q in (a, b):
+            _u(circuit, q, math.pi / 2, -math.pi / 2, math.pi / 2)  # rx(pi/2)
+        circuit.cx(a, b)
+        _u(circuit, b, 0.0, 0.0, theta)
+        circuit.cx(a, b)
+        for q in (a, b):
+            _u(circuit, q, -math.pi / 2, -math.pi / 2, math.pi / 2)  # rx(-pi/2)
+        return
+    if name == "zzswap":
+        theta = params[0]
+        a, b = qubits
+        _emit_canonical(circuit, Instruction(Gate("rzz", (theta,)), (a, b)))
+        _emit_canonical(circuit, Instruction(Gate("swap"), (a, b)))
+        return
+    if name == "ccx":
+        a, b, c = qubits
+        _u(circuit, c, math.pi / 2, 0.0, math.pi)  # h
+        circuit.cx(b, c)
+        _u(circuit, c, 0.0, 0.0, -math.pi / 4)  # tdg
+        circuit.cx(a, c)
+        _u(circuit, c, 0.0, 0.0, math.pi / 4)  # t
+        circuit.cx(b, c)
+        _u(circuit, c, 0.0, 0.0, -math.pi / 4)
+        circuit.cx(a, c)
+        _u(circuit, b, 0.0, 0.0, math.pi / 4)
+        _u(circuit, c, 0.0, 0.0, math.pi / 4)
+        _u(circuit, c, math.pi / 2, 0.0, math.pi)
+        circuit.cx(a, b)
+        _u(circuit, a, 0.0, 0.0, math.pi / 4)
+        _u(circuit, b, 0.0, 0.0, -math.pi / 4)
+        circuit.cx(a, b)
+        return
+    if name == "cswap":
+        control, a, b = qubits
+        # CSWAP = CX(b,a) CCX(control,a,b) CX(b,a)
+        circuit.cx(b, a)
+        _emit_canonical(circuit, Instruction(Gate("ccx"), (control, a, b)))
+        circuit.cx(b, a)
+        return
+    raise TranspilerError(f"no canonical decomposition for gate {name!r}")
+
+
+def decompose_to_canonical(circuit: Circuit) -> Circuit:
+    """Rewrite a circuit into the canonical gate set ``{u, cx}``."""
+    out = Circuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    for instruction in circuit:
+        _emit_canonical(out, instruction)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# native basis translation
+# ---------------------------------------------------------------------------
+
+
+def _emit_u_ibm(circuit: Circuit, qubit: int, theta: float, phi: float, lam: float) -> None:
+    """u(theta, phi, lam) as rz/sx/x for IBM- and AQT-style devices."""
+    theta = normalize_angle(theta)
+    phi = normalize_angle(phi)
+    lam = normalize_angle(lam)
+    if abs(theta) < _ANGLE_TOLERANCE:
+        angle = normalize_angle(phi + lam)
+        if abs(angle) > _ANGLE_TOLERANCE:
+            circuit.rz(angle, qubit)
+        return
+    if abs(theta - math.pi / 2) < _ANGLE_TOLERANCE:
+        # u(pi/2, phi, lam) = rz(phi + pi/2) sx rz(lam - pi/2) up to phase.
+        first = normalize_angle(lam - math.pi / 2)
+        second = normalize_angle(phi + math.pi / 2)
+        if abs(first) > _ANGLE_TOLERANCE:
+            circuit.rz(first, qubit)
+        circuit.sx(qubit)
+        if abs(second) > _ANGLE_TOLERANCE:
+            circuit.rz(second, qubit)
+        return
+    if (
+        abs(abs(theta) - math.pi) < _ANGLE_TOLERANCE
+        and abs(phi) < _ANGLE_TOLERANCE
+        and abs(abs(lam) - math.pi) < _ANGLE_TOLERANCE
+    ):
+        circuit.x(qubit)
+        return
+    first = normalize_angle(lam)
+    middle = normalize_angle(theta + math.pi)
+    last = normalize_angle(phi + math.pi)
+    if abs(first) > _ANGLE_TOLERANCE:
+        circuit.rz(first, qubit)
+    circuit.sx(qubit)
+    circuit.rz(middle, qubit)
+    circuit.sx(qubit)
+    if abs(last) > _ANGLE_TOLERANCE:
+        circuit.rz(last, qubit)
+
+
+def _emit_u_ionq(circuit: Circuit, qubit: int, theta: float, phi: float, lam: float) -> None:
+    """u(theta, phi, lam) as rz/ry/rz for trapped-ion devices."""
+    theta = normalize_angle(theta)
+    phi = normalize_angle(phi)
+    lam = normalize_angle(lam)
+    if abs(theta) < _ANGLE_TOLERANCE:
+        angle = normalize_angle(phi + lam)
+        if abs(angle) > _ANGLE_TOLERANCE:
+            circuit.rz(angle, qubit)
+        return
+    if abs(lam) > _ANGLE_TOLERANCE:
+        circuit.rz(lam, qubit)
+    circuit.ry(theta, qubit)
+    if abs(phi) > _ANGLE_TOLERANCE:
+        circuit.rz(phi, qubit)
+
+
+def _emit_cx_ionq(circuit: Circuit, control: int, target: int) -> None:
+    """CX via the Molmer-Sorensen interaction rxx(pi/2) plus local rotations."""
+    circuit.ry(math.pi / 2, control)
+    circuit.rxx(math.pi / 2, control, target)
+    circuit.rx(-math.pi / 2, control)
+    circuit.rx(-math.pi / 2, target)
+    circuit.ry(-math.pi / 2, control)
+
+
+def _emit_cx_aqt(circuit: Circuit, control: int, target: int) -> None:
+    """CX via the native CZ: H on the target on both sides."""
+    _emit_u_ibm(circuit, target, math.pi / 2, 0.0, math.pi)
+    circuit.cz(control, target)
+    _emit_u_ibm(circuit, target, math.pi / 2, 0.0, math.pi)
+
+
+def translate_to_basis(circuit: Circuit, basis: str) -> Circuit:
+    """Translate a circuit to a native basis.
+
+    The input may contain any supported gate; it is first rewritten to the
+    canonical set and then mapped to the requested basis.
+    """
+    if basis not in SUPPORTED_BASES:
+        raise TranspilerError(
+            f"unsupported basis {basis!r}; supported: {sorted(SUPPORTED_BASES)}"
+        )
+    canonical = decompose_to_canonical(circuit)
+    if basis == "canonical":
+        return canonical
+    out = Circuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    for instruction in canonical:
+        name = instruction.name
+        if name in ("measure", "reset", "barrier"):
+            out.append(instruction)
+            continue
+        if name == "u":
+            theta, phi, lam = instruction.params
+            if basis == "ionq":
+                _emit_u_ionq(out, instruction.qubits[0], theta, phi, lam)
+            else:
+                _emit_u_ibm(out, instruction.qubits[0], theta, phi, lam)
+            continue
+        if name == "cx":
+            control, target = instruction.qubits
+            if basis == "ibm":
+                out.cx(control, target)
+            elif basis == "aqt":
+                _emit_cx_aqt(out, control, target)
+            else:
+                _emit_cx_ionq(out, control, target)
+            continue
+        raise TranspilerError(f"unexpected canonical gate {name!r}")
+    return out

@@ -1,0 +1,210 @@
+"""Circuit optimization passes allowed by the paper's Closed Division.
+
+The Closed Division permits "cancellation of adjacent gates" and "reordering
+of commuting gates" — the optimizations a cloud compiler applies
+automatically.  The passes here implement:
+
+* :func:`cancel_adjacent_inverses` — remove back-to-back self-inverse pairs
+  (``cx cx``, ``h h``, ``s sdg`` ...), iterated to a fixed point.
+* :func:`merge_rotations` — combine adjacent rotations about the same axis.
+* :func:`fuse_single_qubit_runs` — collapse any run of single-qubit gates on
+  one qubit into a single ``u`` gate.
+* :func:`drop_negligible` — remove identities and zero-angle rotations.
+* :func:`optimize_circuit` — the standard pipeline combining the above.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from ..circuits import Circuit, Gate, Instruction
+from ..circuits.gates import ADDITIVE_ROTATIONS, SELF_INVERSE
+from ..utils import normalize_angle
+
+__all__ = [
+    "cancel_adjacent_inverses",
+    "merge_rotations",
+    "fuse_single_qubit_runs",
+    "drop_negligible",
+    "optimize_circuit",
+]
+
+_INVERSE_PAIRS = {("s", "sdg"), ("sdg", "s"), ("t", "tdg"), ("tdg", "t"), ("sx", "sxdg"), ("sxdg", "sx")}
+_ANGLE_TOLERANCE = 1e-10
+
+
+def _rebuild(circuit: Circuit, instructions: List[Instruction]) -> Circuit:
+    out = Circuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    for instruction in instructions:
+        out.append(instruction)
+    return out
+
+
+def _are_inverse(a: Instruction, b: Instruction) -> bool:
+    if a.qubits != b.qubits:
+        return False
+    if not (a.is_unitary() and b.is_unitary()):
+        return False
+    if a.name == b.name and a.name in SELF_INVERSE and not a.params:
+        return True
+    if (a.name, b.name) in _INVERSE_PAIRS:
+        return True
+    if a.name == b.name and a.name in ADDITIVE_ROTATIONS:
+        return abs(normalize_angle(a.params[0] + b.params[0])) < _ANGLE_TOLERANCE
+    return False
+
+
+def cancel_adjacent_inverses(circuit: Circuit) -> Circuit:
+    """Remove adjacent mutually-inverse gate pairs until none remain.
+
+    "Adjacent" means no intervening operation touches any of the pair's
+    qubits; barriers block cancellation across them.
+    """
+    instructions = list(circuit)
+    changed = True
+    while changed:
+        changed = False
+        result: List[Instruction] = []
+        # For every qubit, remember the index (in `result`) of the last op on it.
+        last_index: dict[int, int] = {}
+        for instruction in instructions:
+            if instruction.is_barrier():
+                for q in instruction.qubits:
+                    last_index[q] = len(result)
+                result.append(instruction)
+                continue
+            candidate: Optional[int] = None
+            indices = {last_index.get(q) for q in instruction.qubits}
+            if len(indices) == 1 and None not in indices:
+                candidate = indices.pop()
+            if (
+                candidate is not None
+                and result[candidate] is not None
+                and not result[candidate].is_barrier()
+                and _are_inverse(result[candidate], instruction)
+            ):
+                result[candidate] = None  # type: ignore[call-overload]
+                for q in instruction.qubits:
+                    del last_index[q]
+                changed = True
+                continue
+            for q in instruction.qubits:
+                last_index[q] = len(result)
+            result.append(instruction)
+        instructions = [instruction for instruction in result if instruction is not None]
+    return _rebuild(circuit, instructions)
+
+
+def merge_rotations(circuit: Circuit) -> Circuit:
+    """Combine adjacent rotations of the same type on the same qubits."""
+    result: List[Instruction] = []
+    last_index: dict[int, int] = {}
+    for instruction in circuit:
+        if instruction.is_barrier():
+            for q in instruction.qubits:
+                last_index[q] = len(result)
+            result.append(instruction)
+            continue
+        merged = False
+        if instruction.name in ADDITIVE_ROTATIONS:
+            indices = {last_index.get(q) for q in instruction.qubits}
+            if len(indices) == 1 and None not in indices:
+                index = indices.pop()
+                previous = result[index]
+                if (
+                    previous is not None
+                    and previous.name == instruction.name
+                    and previous.qubits == instruction.qubits
+                ):
+                    angle = normalize_angle(previous.params[0] + instruction.params[0])
+                    if abs(angle) < _ANGLE_TOLERANCE:
+                        result[index] = None  # type: ignore[call-overload]
+                        for q in instruction.qubits:
+                            del last_index[q]
+                    else:
+                        result[index] = Instruction(
+                            Gate(instruction.name, (angle,)), instruction.qubits
+                        )
+                    merged = True
+        if not merged:
+            for q in instruction.qubits:
+                last_index[q] = len(result)
+            result.append(instruction)
+    return _rebuild(circuit, [instruction for instruction in result if instruction is not None])
+
+
+def fuse_single_qubit_runs(circuit: Circuit) -> Circuit:
+    """Collapse maximal runs of single-qubit unitaries into one ``u`` gate."""
+    from .decomposition import zyz_angles
+
+    pending: dict[int, np.ndarray] = {}
+    result: List[Instruction] = []
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is None:
+            return
+        theta, phi, lam = zyz_angles(matrix)
+        if (
+            abs(theta) < _ANGLE_TOLERANCE
+            and abs(normalize_angle(phi + lam)) < _ANGLE_TOLERANCE
+        ):
+            return
+        result.append(Instruction(Gate("u", (theta, phi, lam)), (qubit,)))
+
+    for instruction in circuit:
+        if instruction.is_unitary() and len(instruction.qubits) == 1:
+            qubit = instruction.qubits[0]
+            matrix = instruction.gate.matrix()
+            pending[qubit] = matrix @ pending.get(qubit, np.eye(2, dtype=complex))
+            continue
+        for qubit in instruction.qubits:
+            flush(qubit)
+        if instruction.is_barrier() and not instruction.qubits:
+            for qubit in list(pending):
+                flush(qubit)
+        result.append(instruction)
+    for qubit in list(pending):
+        flush(qubit)
+    return _rebuild(circuit, result)
+
+
+def drop_negligible(circuit: Circuit) -> Circuit:
+    """Remove identity gates and rotations with (numerically) zero angle."""
+    kept: List[Instruction] = []
+    for instruction in circuit:
+        if instruction.name == "id":
+            continue
+        if instruction.name in ADDITIVE_ROTATIONS and abs(
+            normalize_angle(instruction.params[0])
+        ) < _ANGLE_TOLERANCE:
+            continue
+        if instruction.name == "u" and all(
+            abs(normalize_angle(p)) < _ANGLE_TOLERANCE for p in instruction.params
+        ):
+            continue
+        kept.append(instruction)
+    return _rebuild(circuit, kept)
+
+
+def optimize_circuit(circuit: Circuit, level: int = 1) -> Circuit:
+    """Standard optimization pipeline.
+
+    Level 0 returns the circuit untouched.  Level 1 drops negligible gates,
+    merges rotations and cancels adjacent inverses.  Level 2 additionally
+    fuses single-qubit runs into ``u`` gates (useful before basis
+    translation, which re-expands them optimally).
+    """
+    if level <= 0:
+        return circuit.copy()
+    out = drop_negligible(circuit)
+    out = merge_rotations(out)
+    out = cancel_adjacent_inverses(out)
+    if level >= 2:
+        out = fuse_single_qubit_runs(out)
+        out = drop_negligible(out)
+        out = cancel_adjacent_inverses(out)
+    return out

@@ -1,0 +1,150 @@
+"""Initial placement of logical qubits onto physical qubits.
+
+The paper's Closed Division allows "noise-aware qubit mapping" since cloud
+compilers apply it automatically.  Two strategies are provided:
+
+* :func:`trivial_placement` — logical qubit *i* goes to physical qubit *i*.
+* :func:`noise_aware_placement` — a greedy heuristic that selects a connected
+  region of the device with high connectivity, then assigns the most
+  communication-heavy logical qubits to the best-connected physical qubits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import networkx as nx
+
+from ..circuits import Circuit
+from ..devices import Device
+from ..exceptions import TranspilerError
+
+__all__ = ["trivial_placement", "noise_aware_placement", "Placement"]
+
+Placement = Dict[int, int]
+
+
+def _check_fits(circuit: Circuit, device: Device) -> None:
+    if circuit.num_qubits > device.num_qubits:
+        raise TranspilerError(
+            f"circuit needs {circuit.num_qubits} qubits but {device.name} has "
+            f"only {device.num_qubits}"
+        )
+
+
+def trivial_placement(circuit: Circuit, device: Device) -> Placement:
+    """Identity mapping: logical qubit ``i`` -> physical qubit ``i``."""
+    _check_fits(circuit, device)
+    return {q: q for q in range(circuit.num_qubits)}
+
+
+def noise_aware_placement(circuit: Circuit, device: Device) -> Placement:
+    """Connectivity-aware greedy placement.
+
+    The heuristic first grows a connected region of the device starting from
+    the highest-degree physical qubit (always adding the neighbouring qubit
+    with the most connections into the already selected region).  It then
+    walks the circuit's interaction graph in breadth-first order from its
+    busiest logical qubit and assigns each logical qubit to the free physical
+    qubit that is adjacent to the most already-placed interaction partners
+    (ties broken by physical degree), so that chains map onto chains and
+    densely interacting cliques land on the densest part of the region.
+    """
+    _check_fits(circuit, device)
+    needed = circuit.num_qubits
+    if needed == 0:
+        return {}
+    topology = device.topology()
+    if device.all_to_all:
+        return {q: q for q in range(needed)}
+    if needed == device.num_qubits:
+        region = list(range(device.num_qubits))
+    else:
+        region = _grow_region(topology, needed)
+
+    interaction = circuit.interaction_graph()
+    region_subgraph = topology.subgraph(region)
+    logical_order = _interaction_bfs_order(interaction, needed)
+
+    placement: Placement = {}
+    free = set(region)
+    for logical in logical_order:
+        placed_partners = [
+            placement[other]
+            for other in interaction.neighbors(logical)
+            if other in placement
+        ]
+        best = max(
+            free,
+            key=lambda candidate: (
+                sum(1 for partner in placed_partners if topology.has_edge(candidate, partner)),
+                region_subgraph.degree(candidate),
+                topology.degree(candidate),
+                -candidate,
+            ),
+        )
+        placement[logical] = best
+        free.remove(best)
+    return placement
+
+
+def _interaction_bfs_order(interaction: nx.Graph, num_qubits: int) -> List[int]:
+    """Logical qubits in BFS order over the interaction graph, busiest first."""
+    order: List[int] = []
+    seen: set[int] = set()
+    remaining = sorted(range(num_qubits), key=lambda q: interaction.degree(q), reverse=True)
+    for seed in remaining:
+        if seed in seen:
+            continue
+        queue = [seed]
+        seen.add(seed)
+        while queue:
+            node = queue.pop(0)
+            order.append(node)
+            neighbors = sorted(
+                (n for n in interaction.neighbors(node) if n not in seen),
+                key=lambda q: interaction.degree(q),
+                reverse=True,
+            )
+            for neighbor in neighbors:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return order
+
+
+def _grow_region(topology: nx.Graph, size: int) -> List[int]:
+    """Grow a connected set of ``size`` nodes greedily by internal connectivity."""
+    if size > topology.number_of_nodes():
+        raise TranspilerError("device too small for requested region")
+    best_region: List[int] | None = None
+    best_score = -1.0
+    # Try growing from the few highest-degree seeds and keep the densest region.
+    seeds = sorted(topology.nodes, key=lambda n: topology.degree(n), reverse=True)[:4]
+    for seed in seeds:
+        region = {seed}
+        while len(region) < size:
+            boundary = {
+                neighbor
+                for node in region
+                for neighbor in topology.neighbors(node)
+                if neighbor not in region
+            }
+            if not boundary:
+                break
+            choice = max(
+                boundary,
+                key=lambda n: (
+                    sum(1 for m in topology.neighbors(n) if m in region),
+                    topology.degree(n),
+                ),
+            )
+            region.add(choice)
+        if len(region) < size:
+            continue
+        score = topology.subgraph(region).number_of_edges()
+        if score > best_score:
+            best_score = score
+            best_region = sorted(region)
+    if best_region is None:
+        raise TranspilerError("could not find a connected region of the requested size")
+    return best_region

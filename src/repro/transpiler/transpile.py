@@ -1,0 +1,140 @@
+"""The transpilation pipeline: circuit + device -> executable circuit.
+
+This plays the role the cloud compilers (and the SuperstaQ write-once-
+target-all layer) play in the paper: the benchmarks are specified once at the
+OpenQASM level and the pipeline lowers them to each device's native gates,
+qubits and connectivity, applying only the Closed Division optimizations.
+
+Pipeline stages:
+
+1. canonical decomposition to ``{u, cx}``,
+2. light optimization (cancellation, rotation merging, 1q fusion),
+3. placement (noise-aware by default),
+4. SWAP routing onto the device topology,
+5. translation to the device's native basis,
+6. final cancellation/merging in the native basis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..circuits import Circuit
+from ..devices import Device
+from ..exceptions import TranspilerError
+from .decomposition import basis_for_gates, decompose_to_canonical, translate_to_basis
+from .optimization import cancel_adjacent_inverses, merge_rotations, optimize_circuit
+from .placement import Placement, noise_aware_placement, trivial_placement
+from .routing import route_circuit
+
+__all__ = ["TranspiledCircuit", "transpile"]
+
+
+@dataclass
+class TranspiledCircuit:
+    """Output of :func:`transpile`.
+
+    Attributes:
+        circuit: The compiled circuit over the device's physical qubits.
+        device: The target device.
+        initial_layout: logical -> physical qubit mapping used at circuit start.
+        final_layout: logical -> physical mapping after routing.
+        swap_count: Number of SWAPs the router inserted.
+        logical_circuit: The original (pre-compilation) circuit.
+    """
+
+    circuit: Circuit
+    device: Device
+    initial_layout: Placement
+    final_layout: Placement
+    swap_count: int
+    logical_circuit: Circuit
+
+    def active_physical_qubits(self) -> Tuple[int, ...]:
+        """Physical qubits actually used by the compiled circuit."""
+        return self.circuit.active_qubits()
+
+    def compact(self) -> Tuple[Circuit, Tuple[int, ...]]:
+        """Relabel the active physical qubits to ``0..k-1`` for simulation.
+
+        Returns the compacted circuit and the tuple of physical qubits it
+        corresponds to (``physical_qubits[i]`` is compact qubit ``i``), which
+        is what :meth:`repro.devices.Device.noise_model` needs to build a
+        matching noise model.
+        """
+        physical = self.active_physical_qubits()
+        if not physical:
+            raise TranspilerError("compiled circuit touches no qubits")
+        mapping = {p: i for i, p in enumerate(physical)}
+        compacted = Circuit(len(physical), self.circuit.num_clbits, self.circuit.name)
+        for instruction in self.circuit:
+            if instruction.is_barrier():
+                compacted.barrier(*(mapping[q] for q in instruction.qubits if q in mapping))
+                continue
+            compacted.append(instruction.remap(mapping))
+        return compacted, physical
+
+    def two_qubit_gate_count(self) -> int:
+        return self.circuit.num_two_qubit_gates()
+
+    def depth(self) -> int:
+        return self.circuit.depth()
+
+
+def transpile(
+    circuit: Circuit,
+    device: Device,
+    optimization_level: int = 1,
+    placement: str = "noise_aware",
+    initial_layout: Placement | None = None,
+) -> TranspiledCircuit:
+    """Compile a logical circuit for a device.
+
+    Args:
+        circuit: The logical circuit (any supported gates).
+        device: Target device from :mod:`repro.devices`.
+        optimization_level: 0 disables optimization, 1 applies cancellation
+            and merging, 2 additionally fuses single-qubit runs.
+        placement: ``"noise_aware"`` (default) or ``"trivial"``.
+        initial_layout: Explicit logical -> physical mapping overriding the
+            placement strategy.
+
+    Returns:
+        A :class:`TranspiledCircuit` whose circuit only uses the device's
+        native basis gates on coupled qubit pairs.
+    """
+    if circuit.num_qubits > device.num_qubits:
+        raise TranspilerError(
+            f"{circuit.num_qubits}-qubit circuit does not fit on {device.name} "
+            f"({device.num_qubits} qubits)"
+        )
+
+    canonical = decompose_to_canonical(circuit)
+    canonical = optimize_circuit(canonical, level=min(optimization_level, 2))
+
+    if initial_layout is not None:
+        layout = dict(initial_layout)
+    elif placement == "trivial":
+        layout = trivial_placement(canonical, device)
+    elif placement == "noise_aware":
+        layout = noise_aware_placement(canonical, device)
+    else:
+        raise TranspilerError(f"unknown placement strategy {placement!r}")
+
+    routed = route_circuit(canonical, device, layout)
+
+    basis = basis_for_gates(device.basis_gates)
+    native = translate_to_basis(routed.circuit, basis)
+    if optimization_level >= 1:
+        native = merge_rotations(native)
+        native = cancel_adjacent_inverses(native)
+
+    return TranspiledCircuit(
+        circuit=native,
+        device=device,
+        initial_layout=routed.initial_layout,
+        final_layout=routed.final_layout,
+        swap_count=routed.swap_count,
+        logical_circuit=circuit,
+    )

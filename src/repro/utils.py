@@ -1,0 +1,36 @@
+"""Small numeric helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["equivalent_up_to_global_phase", "normalize_angle"]
+
+
+def equivalent_up_to_global_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    """True when two matrices (or vectors) differ only by a global phase."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        return False
+    # Find the largest-magnitude entry of a to fix the relative phase.
+    flat_a = a.reshape(-1)
+    flat_b = b.reshape(-1)
+    index = int(np.argmax(np.abs(flat_a)))
+    if abs(flat_a[index]) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    if abs(flat_b[index]) < atol:
+        return False
+    phase = flat_b[index] / flat_a[index]
+    if not np.isclose(abs(phase), 1.0, atol=atol):
+        return False
+    return bool(np.allclose(a * phase, b, atol=atol))
+
+
+def normalize_angle(theta: float) -> float:
+    """Map an angle to the interval (-pi, pi]."""
+    two_pi = 2.0 * np.pi
+    theta = float(theta) % two_pi
+    if theta > np.pi:
+        theta -= two_pi
+    return theta

@@ -1,0 +1,118 @@
+"""Tests for fidelities and the correlation analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    correlation_matrix,
+    hellinger_distance,
+    hellinger_fidelity,
+    linear_regression,
+    r_squared,
+    total_variation_distance,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestHellinger:
+    def test_identical_distributions(self):
+        counts = {"00": 50, "11": 50}
+        assert hellinger_fidelity(counts, counts) == pytest.approx(1.0)
+        assert hellinger_distance(counts, counts) == pytest.approx(0.0)
+
+    def test_disjoint_distributions(self):
+        assert hellinger_fidelity({"00": 10}, {"11": 10}) == pytest.approx(0.0)
+
+    def test_normalisation_independent(self):
+        a = {"0": 1, "1": 1}
+        b = {"0": 500, "1": 500}
+        assert hellinger_fidelity(a, b) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # p = (1, 0), q = (0.5, 0.5): fidelity = (sqrt(0.5))**2 = 0.5
+        assert hellinger_fidelity({"0": 100}, {"0": 50, "1": 50}) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(Exception):
+            hellinger_fidelity({}, {"0": 1})
+
+    @given(
+        p0=st.integers(1, 100),
+        p1=st.integers(1, 100),
+        q0=st.integers(1, 100),
+        q1=st.integers(1, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fidelity_bounded(self, p0, p1, q0, q1):
+        fidelity = hellinger_fidelity({"0": p0, "1": p1}, {"0": q0, "1": q1})
+        assert 0.0 <= fidelity <= 1.0 + 1e-12
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        assert total_variation_distance({"0": 2, "1": 2}, {"0": 1, "1": 1}) == pytest.approx(0.0)
+
+    def test_disjoint_is_one(self):
+        assert total_variation_distance({"0": 5}, {"1": 5}) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            total_variation_distance({}, {"0": 1})
+
+
+class TestLinearRegression:
+    def test_perfect_line(self):
+        fit = linear_regression([0, 1, 2, 3], [1, 3, 5, 7])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_uncorrelated_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=200)
+        y = rng.normal(size=200)
+        assert r_squared(x, y) < 0.1
+
+    def test_constant_feature_gives_zero(self):
+        assert r_squared([1, 1, 1, 1], [0.1, 0.5, 0.9, 0.3]) == 0.0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(AnalysisError):
+            linear_regression([1], [2])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            linear_regression([1, 2], [1, 2, 3])
+
+
+class TestCorrelationMatrix:
+    def _records(self):
+        records = []
+        for device, slope in (("dev_a", 1.0), ("dev_b", -0.5)):
+            for value in np.linspace(0, 1, 8):
+                records.append(
+                    {
+                        "device": device,
+                        "score": slope * value + 0.1,
+                        "feature_x": value,
+                        "feature_noise": 0.42,
+                    }
+                )
+        return records
+
+    def test_strong_feature_detected(self):
+        matrix = correlation_matrix(self._records(), ["feature_x", "feature_noise"])
+        assert matrix["dev_a"]["feature_x"] == pytest.approx(1.0)
+        assert matrix["dev_b"]["feature_x"] == pytest.approx(1.0)
+        assert matrix["dev_a"]["feature_noise"] == 0.0
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(AnalysisError):
+            correlation_matrix([], ["x"])
+
+    def test_single_record_group_gives_zero(self):
+        records = [{"device": "solo", "score": 0.5, "f": 0.1}]
+        matrix = correlation_matrix(records, ["f"])
+        assert matrix["solo"]["f"] == 0.0

@@ -1,0 +1,98 @@
+"""Tests for the bit-code and phase-code proxy benchmarks."""
+
+import pytest
+
+from repro.benchmarks import BitCodeBenchmark, PhaseCodeBenchmark
+from repro.exceptions import BenchmarkError
+from repro.simulation import Counts, NoiseModel, StatevectorSimulator
+
+
+class TestLayout:
+    def test_parameter_validation(self):
+        with pytest.raises(BenchmarkError):
+            BitCodeBenchmark(1, 1)
+        with pytest.raises(BenchmarkError):
+            BitCodeBenchmark(3, 0)
+        with pytest.raises(BenchmarkError):
+            PhaseCodeBenchmark(3, 1, initial_state=[0, 1])
+        with pytest.raises(BenchmarkError):
+            PhaseCodeBenchmark(3, 1, initial_state=[0, 2, 1])
+
+    def test_qubit_and_clbit_counts(self):
+        benchmark = BitCodeBenchmark(5, 3)
+        assert benchmark.total_qubits == 9
+        assert benchmark.total_clbits == 5 + 3 * 4
+        circuit = benchmark.circuits()[0]
+        assert circuit.num_qubits == 9
+        assert circuit.num_clbits == 17
+
+    def test_default_initial_state_alternates(self):
+        assert BitCodeBenchmark(4, 1).initial_state == (0, 1, 0, 1)
+
+    def test_mid_circuit_reset_present(self):
+        circuit = BitCodeBenchmark(3, 2).circuits()[0]
+        assert circuit.num_resets() == 4
+        assert circuit.num_measurements() == 3 + 4
+
+    def test_measurement_feature_is_nonzero(self):
+        assert BitCodeBenchmark(3, 2).features().measurement > 0
+        assert PhaseCodeBenchmark(3, 2).features().measurement > 0
+
+
+class TestBitCodeScoring:
+    def test_ideal_distribution_is_deterministic(self):
+        benchmark = BitCodeBenchmark(3, 2, initial_state=[0, 1, 0])
+        distribution = benchmark.ideal_distribution()
+        assert len(distribution) == 1
+        key = next(iter(distribution))
+        assert key[:3] == "010"
+        # Syndromes: 0 xor 1 = 1, 1 xor 0 = 1, repeated for both rounds.
+        assert key[3:] == "1111"
+
+    def test_ideal_simulation_scores_one(self):
+        benchmark = BitCodeBenchmark(3, 2)
+        counts = StatevectorSimulator(seed=0).run(benchmark.circuits()[0], shots=300)
+        assert benchmark.score([counts]) > 0.99
+
+    def test_noise_reduces_score(self):
+        benchmark = BitCodeBenchmark(3, 2)
+        model = NoiseModel(
+            benchmark.total_qubits,
+            t1=30.0,
+            t2=30.0,
+            readout_time=5.0,
+            error_2q=0.03,
+            readout_error=0.03,
+        )
+        counts = StatevectorSimulator(model, seed=1, trajectories=60).run(
+            benchmark.circuits()[0], shots=300
+        )
+        assert benchmark.score([counts]) < 0.9
+
+    def test_wrong_counts_length_rejected(self):
+        with pytest.raises(BenchmarkError):
+            BitCodeBenchmark(3, 1).score([])
+
+
+class TestPhaseCodeScoring:
+    def test_ideal_distribution_uniform_over_data(self):
+        benchmark = PhaseCodeBenchmark(3, 1, initial_state=[0, 1, 0])
+        distribution = benchmark.ideal_distribution()
+        assert len(distribution) == 8
+        assert all(value == pytest.approx(1 / 8) for value in distribution.values())
+        # Syndromes deterministic: signs differ on both bonds.
+        assert all(key[3:] == "11" for key in distribution)
+
+    def test_ideal_simulation_scores_one(self):
+        benchmark = PhaseCodeBenchmark(3, 2)
+        counts = StatevectorSimulator(seed=2).run(benchmark.circuits()[0], shots=600)
+        assert benchmark.score([counts]) > 0.95
+
+    def test_equal_sign_initial_state_gives_zero_syndrome(self):
+        benchmark = PhaseCodeBenchmark(3, 1, initial_state=[0, 0, 0])
+        counts = StatevectorSimulator(seed=3).run(benchmark.circuits()[0], shots=200)
+        assert all(key[3:] == "00" for key in counts)
+
+    def test_scales_to_five_data_qubits(self):
+        benchmark = PhaseCodeBenchmark(5, 2)
+        assert benchmark.circuits()[0].num_qubits == 9

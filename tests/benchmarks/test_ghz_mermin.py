@@ -1,0 +1,105 @@
+"""Tests for the GHZ and Mermin-Bell benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import GHZBenchmark, MerminBellBenchmark, classical_bound, mermin_operator, quantum_bound
+from repro.exceptions import BenchmarkError
+from repro.simulation import Counts, StatevectorSimulator, final_statevector
+
+
+class TestGHZBenchmark:
+    def test_minimum_size(self):
+        with pytest.raises(BenchmarkError):
+            GHZBenchmark(1)
+
+    def test_circuit_structure(self):
+        circuit = GHZBenchmark(5).circuits()[0]
+        assert circuit.count_ops() == {"h": 1, "cx": 4, "measure": 5}
+
+    def test_ideal_execution_scores_one(self, simulator):
+        benchmark = GHZBenchmark(4)
+        counts = simulator.run(benchmark.circuits()[0], shots=2000)
+        assert benchmark.score([counts]) > 0.97
+
+    def test_uniform_noise_scores_low(self):
+        benchmark = GHZBenchmark(3)
+        uniform = Counts({format(i, "03b"): 10 for i in range(8)})
+        # Hellinger fidelity of the uniform distribution against the ideal
+        # 50/50 GHZ distribution is (2 * sqrt(1/8 * 1/2))**2 = 0.25.
+        assert benchmark.score([uniform]) == pytest.approx(0.25, abs=0.01)
+
+    def test_completely_wrong_distribution_scores_zero(self):
+        benchmark = GHZBenchmark(3)
+        assert benchmark.score([Counts({"010": 100})]) == 0.0
+
+    def test_wrong_number_of_counts_rejected(self):
+        with pytest.raises(BenchmarkError):
+            GHZBenchmark(3).score([])
+
+    def test_features_match_ladder_structure(self):
+        features = GHZBenchmark(5).features()
+        assert features.critical_depth == pytest.approx(1.0)
+        assert features.measurement == 0.0
+
+
+class TestMerminOperator:
+    def test_term_count(self):
+        assert len(mermin_operator(3)) == 4
+        assert len(mermin_operator(4)) == 8
+
+    def test_all_terms_full_weight_with_odd_y(self):
+        for term in mermin_operator(4):
+            assert term.pauli.weight() == 4
+            letters = [letter for _q, letter in term.pauli]
+            assert letters.count("Y") % 2 == 1
+
+    def test_bounds(self):
+        assert quantum_bound(3) == 4.0
+        assert classical_bound(3) == 2.0
+        assert quantum_bound(4) == 8.0
+        assert classical_bound(4) == 4.0
+
+    def test_prepared_state_saturates_quantum_bound(self):
+        for n in (3, 4):
+            benchmark = MerminBellBenchmark(n)
+            state = final_statevector(benchmark._state_preparation())
+            expectation = mermin_operator(n).expectation_from_statevector(state)
+            assert expectation == pytest.approx(quantum_bound(n), rel=1e-9)
+
+
+class TestMerminBellBenchmark:
+    def test_size_limits(self):
+        with pytest.raises(BenchmarkError):
+            MerminBellBenchmark(1)
+        with pytest.raises(BenchmarkError):
+            MerminBellBenchmark(8)
+
+    def test_number_of_measurement_circuits(self):
+        assert len(MerminBellBenchmark(3).circuits()) == 4
+        assert len(MerminBellBenchmark(4).circuits()) == 8
+
+    def test_ideal_execution_scores_near_one(self):
+        benchmark = MerminBellBenchmark(3)
+        simulator = StatevectorSimulator(seed=0)
+        counts = [simulator.run(circuit, shots=2000) for circuit in benchmark.circuits()]
+        assert benchmark.score(counts) > 0.95
+
+    def test_ideal_execution_beats_classical_limit(self):
+        benchmark = MerminBellBenchmark(3)
+        simulator = StatevectorSimulator(seed=1)
+        counts = [simulator.run(circuit, shots=2000) for circuit in benchmark.circuits()]
+        assert benchmark.score(counts) > benchmark.classical_limit_score()
+
+    def test_classical_limit_score_value(self):
+        assert MerminBellBenchmark(3).classical_limit_score() == pytest.approx(0.75)
+
+    def test_random_outcomes_score_half(self):
+        benchmark = MerminBellBenchmark(3)
+        uniform = Counts({format(i, "03b"): 25 for i in range(8)})
+        score = benchmark.score([uniform] * len(benchmark.circuits()))
+        assert score == pytest.approx(0.5, abs=0.1)
+
+    def test_wrong_number_of_counts_rejected(self):
+        with pytest.raises(BenchmarkError):
+            MerminBellBenchmark(3).score([Counts({"000": 1})])

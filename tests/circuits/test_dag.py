@@ -1,0 +1,77 @@
+"""Tests for the dependency DAG and two-qubit critical path."""
+
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    circuit_dag,
+    critical_path_length,
+    two_qubit_critical_path,
+)
+
+
+class TestCircuitDag:
+    def test_dag_node_per_instruction(self):
+        circuit = Circuit(2).h(0).cx(0, 1).x(1)
+        dag = circuit_dag(circuit)
+        assert dag.number_of_nodes() == 3
+
+    def test_barriers_are_not_nodes(self):
+        circuit = Circuit(2).h(0).barrier().x(0)
+        dag = circuit_dag(circuit)
+        assert dag.number_of_nodes() == 2
+
+    def test_edges_follow_qubit_dependencies(self):
+        circuit = Circuit(2).h(0).x(1).cx(0, 1)
+        dag = circuit_dag(circuit)
+        assert (0, 2) in dag.edges()
+        assert (1, 2) in dag.edges()
+        assert (0, 1) not in dag.edges()
+
+    def test_dag_is_acyclic(self):
+        import networkx as nx
+
+        circuit = Circuit(3).h(0).cx(0, 1).cx(1, 2).cx(0, 2)
+        assert nx.is_directed_acyclic_graph(circuit_dag(circuit))
+
+
+class TestCriticalPath:
+    def test_serial_chain(self):
+        circuit = Circuit(1).h(0).x(0).z(0)
+        assert critical_path_length(circuit) == 3
+
+    def test_parallel_layer(self):
+        circuit = Circuit(3).h(0).h(1).h(2)
+        assert critical_path_length(circuit) == 1
+
+    def test_two_qubit_gates_on_path(self):
+        # Chain of CNOTs: every one of them is on the critical path.
+        circuit = Circuit(3).cx(0, 1).cx(1, 2).cx(0, 1)
+        on_path, length = two_qubit_critical_path(circuit)
+        assert (on_path, length) == (3, 3)
+
+    def test_single_qubit_padding_not_counted_as_two_qubit(self):
+        circuit = Circuit(2).h(0).h(0).h(0).cx(0, 1)
+        on_path, length = two_qubit_critical_path(circuit)
+        assert length == 4
+        assert on_path == 1
+
+    def test_path_prefers_more_two_qubit_gates_on_tie(self):
+        # Two chains of equal length; one has two CX, the other one CX and single-qubit gates.
+        circuit = Circuit(4)
+        circuit.cx(0, 1).cx(0, 1)           # chain A: 2 two-qubit gates
+        circuit.h(2).h(2).x(3)              # chain B: shorter
+        on_path, length = two_qubit_critical_path(circuit)
+        assert on_path == 2
+        assert length == 2
+
+    def test_empty_circuit(self):
+        assert two_qubit_critical_path(Circuit(2)) == (0, 0)
+
+    def test_ghz_ladder_all_cnots_on_path(self):
+        circuit = Circuit(5).h(0)
+        for q in range(4):
+            circuit.cx(q, q + 1)
+        on_path, length = two_qubit_critical_path(circuit)
+        assert on_path == 4
+        assert length == 5

@@ -1,0 +1,162 @@
+"""Unit tests for gate definitions and matrices."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits.gates import (
+    GATE_DEFINITIONS,
+    Gate,
+    gate_matrix,
+    is_known_gate,
+    standard_gate,
+)
+from repro.exceptions import GateError
+from repro.utils import equivalent_up_to_global_phase
+
+
+UNITARY_GATES = [name for name, d in GATE_DEFINITIONS.items() if d.is_unitary]
+
+
+def _example_params(name):
+    return tuple(0.37 * (i + 1) for i in range(GATE_DEFINITIONS[name].num_params))
+
+
+class TestGateConstruction:
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(GateError):
+            Gate("bogus")
+
+    def test_wrong_parameter_count_rejected(self):
+        with pytest.raises(GateError):
+            Gate("rx")
+        with pytest.raises(GateError):
+            Gate("h", (0.1,))
+
+    def test_params_coerced_to_float(self):
+        gate = Gate("rx", (1,))
+        assert gate.params == (1.0,)
+        assert isinstance(gate.params[0], float)
+
+    def test_is_known_gate(self):
+        assert is_known_gate("cx")
+        assert not is_known_gate("nope")
+
+    def test_standard_gate_constructor(self):
+        assert standard_gate("rz", 0.5) == Gate("rz", (0.5,))
+
+    def test_gates_are_hashable(self):
+        assert len({Gate("x"), Gate("x"), Gate("y")}) == 2
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize("name", UNITARY_GATES)
+    def test_all_matrices_are_unitary(self, name):
+        matrix = gate_matrix(name, *_example_params(name))
+        dim = matrix.shape[0]
+        assert matrix.shape == (dim, dim)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-10)
+
+    @pytest.mark.parametrize("name", UNITARY_GATES)
+    def test_matrix_dimension_matches_qubit_count(self, name):
+        matrix = gate_matrix(name, *_example_params(name))
+        assert matrix.shape[0] == 2 ** GATE_DEFINITIONS[name].num_qubits
+
+    def test_cx_flips_target_when_control_set(self):
+        cx = gate_matrix("cx")
+        # |10> (control=1, target=0) -> |11>
+        state = np.zeros(4)
+        state[2] = 1.0
+        assert np.allclose(cx @ state, [0, 0, 0, 1])
+
+    def test_swap_exchanges_basis_states(self):
+        swap = gate_matrix("swap")
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        assert np.allclose(swap @ state, [0, 0, 1, 0])
+
+    def test_rz_is_diagonal_phase(self):
+        theta = 0.7
+        rz = gate_matrix("rz", theta)
+        assert np.allclose(np.abs(np.diag(rz)), 1.0)
+        assert np.isclose(rz[1, 1] / rz[0, 0], np.exp(1j * theta))
+
+    def test_h_squared_is_identity(self):
+        h = gate_matrix("h")
+        assert np.allclose(h @ h, np.eye(2), atol=1e-12)
+
+    def test_rzz_diagonal(self):
+        rzz = gate_matrix("rzz", 0.4)
+        assert np.allclose(rzz, np.diag(np.diag(rzz)))
+
+    def test_zzswap_is_swap_times_rzz(self):
+        theta = 0.9
+        expected = gate_matrix("swap") @ gate_matrix("rzz", theta)
+        assert np.allclose(gate_matrix("zzswap", theta), expected)
+
+    def test_measure_has_no_matrix(self):
+        with pytest.raises(GateError):
+            Gate("measure").matrix()
+
+    def test_barrier_has_no_matrix(self):
+        with pytest.raises(GateError):
+            Gate("barrier").matrix()
+
+
+class TestGateInverses:
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in UNITARY_GATES if n not in ("iswap", "zzswap")],
+    )
+    def test_inverse_matrix_is_conjugate_transpose(self, name):
+        gate = Gate(name, _example_params(name))
+        inverse = gate.inverse()
+        product = inverse.matrix() @ gate.matrix()
+        assert equivalent_up_to_global_phase(product, np.eye(product.shape[0]))
+
+    def test_self_inverse_gates(self):
+        assert Gate("x").inverse() == Gate("x")
+        assert Gate("cx").inverse() == Gate("cx")
+
+    def test_s_inverse_is_sdg(self):
+        assert Gate("s").inverse() == Gate("sdg")
+
+    def test_rotation_inverse_negates_angle(self):
+        assert Gate("rx", (0.3,)).inverse() == Gate("rx", (-0.3,))
+
+    def test_u_inverse(self):
+        gate = Gate("u", (0.2, 0.5, -0.7))
+        product = gate.inverse().matrix() @ gate.matrix()
+        assert equivalent_up_to_global_phase(product, np.eye(2))
+
+    def test_measure_has_no_inverse(self):
+        with pytest.raises(GateError):
+            Gate("measure").inverse()
+
+    def test_zzswap_inverse_not_defined(self):
+        with pytest.raises(GateError):
+            Gate("zzswap", (0.2,)).inverse()
+
+
+class TestGatePropertyBased:
+    @given(theta=st.floats(-10, 10, allow_nan=False))
+    def test_rz_composition(self, theta):
+        combined = gate_matrix("rz", theta) @ gate_matrix("rz", -theta)
+        assert np.allclose(combined, np.eye(2), atol=1e-9)
+
+    @given(
+        theta=st.floats(-6.3, 6.3),
+        phi=st.floats(-6.3, 6.3),
+        lam=st.floats(-6.3, 6.3),
+    )
+    def test_u_gate_always_unitary(self, theta, phi, lam):
+        matrix = gate_matrix("u", theta, phi, lam)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(2), atol=1e-9)
+
+    @given(theta=st.floats(-6.3, 6.3))
+    def test_rxx_ryy_rzz_commute(self, theta):
+        """The two-qubit Ising rotations about different axes all commute with themselves."""
+        rzz = gate_matrix("rzz", theta)
+        assert np.allclose(rzz @ rzz.conj().T, np.eye(4), atol=1e-9)

@@ -1,0 +1,71 @@
+"""Tests for ASAP moment scheduling and the liveness matrix."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, circuit_depth, circuit_moments, liveness_matrix
+
+
+class TestMoments:
+    def test_parallel_gates_share_a_moment(self):
+        circuit = Circuit(3).h(0).h(1).h(2)
+        moments = circuit_moments(circuit)
+        assert len(moments) == 1
+        assert len(moments[0]) == 3
+
+    def test_dependent_gates_are_serialised(self):
+        circuit = Circuit(2).h(0).cx(0, 1).x(1)
+        moments = circuit_moments(circuit)
+        assert len(moments) == 3
+
+    def test_independent_chains_interleave(self):
+        circuit = Circuit(4).cx(0, 1).cx(2, 3).cx(1, 2)
+        moments = circuit_moments(circuit)
+        assert len(moments) == 2
+        assert len(moments[0]) == 2
+
+    def test_barrier_forces_synchronisation(self):
+        without_barrier = Circuit(2).h(0).x(1).x(1)
+        with_barrier = Circuit(2).h(0).barrier().x(1).x(1)
+        assert circuit_depth(without_barrier) == 2
+        assert circuit_depth(with_barrier) == 3
+
+    def test_barrier_does_not_occupy_a_layer(self):
+        circuit = Circuit(2).barrier().h(0)
+        assert circuit_depth(circuit) == 1
+
+    def test_empty_circuit_depth_zero(self):
+        assert circuit_depth(Circuit(3)) == 0
+
+    def test_measure_counts_toward_depth(self):
+        circuit = Circuit(1, 1).h(0).measure(0, 0)
+        assert circuit_depth(circuit) == 2
+
+
+class TestLivenessMatrix:
+    def test_shape(self):
+        circuit = Circuit(3).h(0).cx(0, 1)
+        matrix = liveness_matrix(circuit)
+        assert matrix.shape == (3, 2)
+
+    def test_fully_active_circuit(self):
+        circuit = Circuit(2).h(0).h(1).cx(0, 1)
+        matrix = liveness_matrix(circuit)
+        assert matrix.sum() == 4
+        assert matrix.shape == (2, 2)
+
+    def test_idle_qubit_rows_are_zero(self):
+        circuit = Circuit(3).h(0).h(0)
+        matrix = liveness_matrix(circuit)
+        assert matrix[1].sum() == 0
+        assert matrix[2].sum() == 0
+        assert matrix[0].sum() == 2
+
+    def test_empty_circuit(self):
+        matrix = liveness_matrix(Circuit(2))
+        assert matrix.shape == (2, 0)
+
+    def test_entries_are_binary(self):
+        circuit = Circuit(3).h(0).cx(0, 1).ccx(0, 1, 2).measure_all()
+        matrix = liveness_matrix(circuit)
+        assert set(np.unique(matrix)).issubset({0, 1})

@@ -1,0 +1,102 @@
+"""Tests for OpenQASM 2.0 emission and parsing."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, circuit_from_qasm, circuit_to_qasm, random_clifford_circuit
+from repro.exceptions import QasmError
+from repro.simulation import circuit_unitary
+from repro.utils import equivalent_up_to_global_phase
+
+
+class TestEmission:
+    def test_header_and_registers(self):
+        qasm = circuit_to_qasm(Circuit(3, 2))
+        assert qasm.startswith("OPENQASM 2.0;")
+        assert "qreg q[3];" in qasm
+        assert "creg c[2];" in qasm
+
+    def test_gate_statements(self):
+        circuit = Circuit(2).h(0).cx(0, 1).rz(math.pi / 2, 1)
+        qasm = circuit_to_qasm(circuit)
+        assert "h q[0];" in qasm
+        assert "cx q[0], q[1];" in qasm
+        assert "rz(pi/2) q[1];" in qasm
+
+    def test_measure_reset_barrier(self):
+        circuit = Circuit(2, 2).reset(0).barrier(0, 1).measure(0, 0)
+        qasm = circuit_to_qasm(circuit)
+        assert "reset q[0];" in qasm
+        assert "barrier q[0], q[1];" in qasm
+        assert "measure q[0] -> c[0];" in qasm
+
+    def test_zzswap_is_expanded(self):
+        circuit = Circuit(2).zzswap(0.5, 0, 1)
+        qasm = circuit_to_qasm(circuit)
+        assert "rzz" in qasm and "swap" in qasm
+
+    def test_pi_formatting(self):
+        circuit = Circuit(1).rz(math.pi, 0).rz(-math.pi / 4, 0).rz(0.123, 0)
+        qasm = circuit_to_qasm(circuit)
+        assert "rz(pi)" in qasm
+        assert "rz(-pi/4)" in qasm
+        assert "0.123" in qasm
+
+
+class TestParsing:
+    def test_round_trip_simple(self):
+        circuit = Circuit(3, 3).h(0).cx(0, 1).rzz(0.4, 1, 2).measure_all()
+        parsed = Circuit.from_qasm(circuit.to_qasm())
+        assert parsed.num_qubits == 3
+        assert parsed.count_ops() == circuit.count_ops()
+
+    def test_round_trip_preserves_unitary(self):
+        circuit = Circuit(3).h(0).cx(0, 1).rz(0.3, 2).ryy(1.2, 0, 2).t(1)
+        parsed = Circuit.from_qasm(circuit.to_qasm())
+        assert equivalent_up_to_global_phase(circuit_unitary(circuit), circuit_unitary(parsed))
+
+    def test_parse_u3_and_u1_aliases(self):
+        qasm = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nu3(0.1,0.2,0.3) q[0];\nu1(0.5) q[0];\n'
+        circuit = circuit_from_qasm(qasm)
+        assert [i.name for i in circuit] == ["u", "p"]
+
+    def test_parse_pi_expressions(self):
+        qasm = 'OPENQASM 2.0;\nqreg q[1];\nrz(3*pi/4) q[0];\nrz(-pi) q[0];\n'
+        circuit = circuit_from_qasm(qasm)
+        assert circuit[0].params[0] == pytest.approx(3 * math.pi / 4)
+        assert circuit[1].params[0] == pytest.approx(-math.pi)
+
+    def test_parse_comments_ignored(self):
+        qasm = 'OPENQASM 2.0;\n// a comment\nqreg q[2];\nh q[0]; // inline\ncx q[0], q[1];\n'
+        circuit = circuit_from_qasm(qasm)
+        assert len(circuit) == 2
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm("OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n")
+
+    def test_malicious_parameter_rejected(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm("OPENQASM 2.0;\nqreg q[1];\nrz(__import__) q[0];\n")
+
+    def test_unknown_identifier_rejected(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm("OPENQASM 2.0;\nqreg q[1];\nrz(tau) q[0];\n")
+
+    def test_barrier_without_arguments(self):
+        qasm = "OPENQASM 2.0;\nqreg q[2];\nbarrier q;\nh q[0];\n"
+        circuit = circuit_from_qasm(qasm)
+        assert circuit[0].is_barrier()
+        assert circuit[0].qubits == (0, 1)
+
+
+class TestRoundTripPropertyBased:
+    @given(num_qubits=st.integers(2, 5), seed=st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_random_clifford_round_trip(self, num_qubits, seed):
+        circuit = random_clifford_circuit(num_qubits, 25, rng=seed)
+        parsed = Circuit.from_qasm(circuit.to_qasm())
+        assert parsed.count_ops() == circuit.count_ops()
+        assert parsed.num_qubits == circuit.num_qubits

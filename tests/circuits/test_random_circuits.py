@@ -1,0 +1,56 @@
+"""Tests for the random circuit generators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    ghz_ladder,
+    quantum_volume_circuit,
+    random_clifford_circuit,
+    random_layered_circuit,
+    random_single_qubit_layer,
+)
+
+
+class TestGenerators:
+    def test_ghz_ladder_structure(self):
+        circuit = ghz_ladder(5)
+        assert circuit.count_ops() == {"h": 1, "cx": 4}
+        assert circuit.num_qubits == 5
+
+    def test_ghz_ladder_with_measurement(self):
+        circuit = ghz_ladder(4, measure=True)
+        assert circuit.num_measurements() == 4
+
+    def test_quantum_volume_square_shape(self):
+        circuit = quantum_volume_circuit(4, rng=0)
+        assert circuit.num_qubits == 4
+        assert circuit.num_measurements() == 4
+        # 4 layers x 2 pairs per layer
+        assert circuit.count_ops()["cx"] == 8
+
+    def test_quantum_volume_reproducible(self):
+        a = quantum_volume_circuit(4, rng=7)
+        b = quantum_volume_circuit(4, rng=7)
+        assert a == b
+
+    def test_random_clifford_gate_count(self):
+        circuit = random_clifford_circuit(3, 40, rng=1)
+        assert circuit.num_gates() == 40
+
+    def test_random_clifford_two_qubit_fraction(self):
+        circuit = random_clifford_circuit(5, 400, two_qubit_fraction=0.5, rng=3)
+        fraction = circuit.num_two_qubit_gates() / circuit.num_gates()
+        assert 0.35 < fraction < 0.65
+
+    def test_random_layered_respects_coupling(self):
+        coupling = [(0, 1), (1, 2)]
+        circuit = random_layered_circuit(3, 4, coupling=coupling, rng=2)
+        for instruction in circuit:
+            if instruction.is_two_qubit():
+                assert tuple(sorted(instruction.qubits)) in {(0, 1), (1, 2)}
+
+    def test_random_single_qubit_layer(self):
+        circuit = random_single_qubit_layer(6, rng=5)
+        assert circuit.depth() == 1
+        assert circuit.num_gates() == 6

@@ -1,0 +1,96 @@
+"""Tests for the feature-space coverage analysis (Table I)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.coverage import (
+    coverage_volume,
+    coverage_volume_of_circuits,
+    feature_matrix,
+    ppl2020_suite_vectors,
+    qasmbench_suite_vectors,
+    supermarq_suite_vectors,
+    synthetic_suite_vectors,
+    triq_suite_vectors,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestCoverageVolume:
+    def test_unit_simplex_volume(self):
+        """Six unit vectors plus the origin span a simplex of volume 1/6!."""
+        vectors = synthetic_suite_vectors()
+        assert coverage_volume(vectors) == pytest.approx(1.0 / math.factorial(6), rel=1e-6)
+
+    def test_too_few_points_give_zero(self):
+        assert coverage_volume(np.eye(6)[:4]) == 0.0
+
+    def test_degenerate_points_give_tiny_volume(self):
+        # 10 copies of 2 distinct points: degenerate, volume ~ 0.
+        points = np.vstack([np.zeros(6)] * 5 + [np.ones(6) * 0.5] * 5)
+        assert coverage_volume(points) < 1e-6
+
+    def test_unit_hypercube_corners(self):
+        corners = np.array(
+            [[float(b) for b in format(i, "06b")] for i in range(64)]
+        )
+        assert coverage_volume(corners) == pytest.approx(1.0, rel=1e-6)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(AnalysisError):
+            coverage_volume(np.zeros(6))
+
+    def test_feature_matrix_shape(self):
+        circuits = [Circuit(2).h(0).cx(0, 1), Circuit(3).cx(0, 1).cx(1, 2)]
+        matrix = feature_matrix(circuits)
+        assert matrix.shape == (2, 6)
+
+    def test_empty_circuit_list_rejected(self):
+        with pytest.raises(AnalysisError):
+            feature_matrix([])
+
+    def test_volume_of_circuits_wrapper(self):
+        circuits = [Circuit(2).h(0), Circuit(2).cx(0, 1)]
+        assert coverage_volume_of_circuits(circuits) == 0.0
+
+
+class TestSuiteComparison:
+    def test_small_suites_have_tiny_volume(self):
+        assert coverage_volume(triq_suite_vectors()) < 1e-3
+        assert coverage_volume(ppl2020_suite_vectors()) < 1e-3
+
+    def test_supermarq_beats_fixed_size_suites(self):
+        """The realistic, scalable suite covers orders of magnitude more volume
+        than the small fixed-size suites (Table I ordering, at reduced scale).
+
+        Note: with the strict Eq. 6 definition of the Measurement feature
+        (mid-circuit only), the proxy corpora for QASMBench/TriQ/PPL+2020 are
+        nearly flat along that axis, so their volumes collapse; SupermarQ's
+        error-correction benchmarks keep its hull six-dimensional.  The
+        synthetic suite's idealised unit vectors are not reachable by real
+        circuits, so unlike the paper it is not strictly dominated here —
+        EXPERIMENTS.md discusses the discrepancy.
+        """
+        supermarq = coverage_volume(supermarq_suite_vectors(max_size=27))
+        qasmbench = coverage_volume(qasmbench_suite_vectors(max_size=30))
+        synthetic = coverage_volume(synthetic_suite_vectors())
+        triq = coverage_volume(triq_suite_vectors())
+        ppl = coverage_volume(ppl2020_suite_vectors())
+        assert supermarq > 100 * qasmbench
+        assert supermarq > 100 * triq
+        assert supermarq > 100 * ppl
+        assert synthetic > triq
+        assert synthetic > ppl
+        assert qasmbench > triq > ppl
+
+    def test_qasmbench_proxy_beats_small_suites(self):
+        qasmbench = coverage_volume(qasmbench_suite_vectors(max_size=30))
+        assert qasmbench > coverage_volume(triq_suite_vectors())
+
+    def test_feature_vectors_in_unit_hypercube(self):
+        vectors = supermarq_suite_vectors(max_size=11)
+        assert np.all(vectors >= 0.0)
+        assert np.all(vectors <= 1.0)

@@ -1,0 +1,93 @@
+"""Tests for device models and the Table II library."""
+
+import networkx as nx
+import pytest
+
+from repro.devices import Calibration, DEVICE_LIBRARY, Device, all_devices, device_names, get_device
+from repro.exceptions import DeviceError
+
+
+class TestCalibration:
+    def test_invalid_times_rejected(self):
+        with pytest.raises(DeviceError):
+            Calibration(-1, 1, 0.1, 0.1, 1, 0.01, 0.01, 0.01)
+
+    def test_invalid_error_rejected(self):
+        with pytest.raises(DeviceError):
+            Calibration(1, 1, 0.1, 0.1, 1, 0.01, 2.0, 0.01)
+
+
+class TestDeviceLibrary:
+    def test_nine_devices_registered(self):
+        assert len(DEVICE_LIBRARY) == 9
+
+    def test_lookup_by_name_and_prefix(self):
+        assert get_device("IonQ-11Q").num_qubits == 11
+        assert get_device("ionq").name == "IonQ-11Q"
+
+    def test_ambiguous_prefix_rejected(self):
+        with pytest.raises(DeviceError):
+            get_device("IBM")
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(DeviceError):
+            get_device("Sycamore")
+
+    def test_device_names_order_stable(self):
+        assert device_names()[0] == "AQT-4Q"
+
+    @pytest.mark.parametrize("device", all_devices(), ids=lambda d: d.name)
+    def test_topologies_are_connected(self, device):
+        assert nx.is_connected(device.topology())
+
+    @pytest.mark.parametrize("device", all_devices(), ids=lambda d: d.name)
+    def test_table_rows_have_expected_fields(self, device):
+        row = device.table_row()
+        assert row["qubits"] == device.num_qubits
+        assert 0 <= row["error_2q_pct"] <= 100
+
+    def test_paper_quoted_values(self):
+        casablanca = get_device("IBM-Casablanca-7Q")
+        assert casablanca.calibration.t1 == pytest.approx(91.21)
+        assert casablanca.calibration.error_2q == pytest.approx(0.0083)
+        ionq = get_device("IonQ-11Q")
+        assert ionq.all_to_all
+        assert ionq.calibration.gate_time_2q == pytest.approx(210.0)
+        aqt = get_device("AQT-4Q")
+        assert aqt.calibration.readout_error == pytest.approx(0.0125)
+
+    def test_estimated_flags(self):
+        assert get_device("IBM-Lagos-7Q").calibration_estimated
+        assert not get_device("IBM-Montreal-27Q").calibration_estimated
+
+
+class TestDeviceBehaviour:
+    def test_all_to_all_connectivity(self):
+        ionq = get_device("IonQ-11Q")
+        assert ionq.are_connected(0, 10)
+        assert not ionq.are_connected(3, 3)
+
+    def test_sparse_connectivity(self):
+        casablanca = get_device("IBM-Casablanca-7Q")
+        assert casablanca.are_connected(0, 1)
+        assert not casablanca.are_connected(0, 6)
+
+    def test_average_degree(self):
+        assert get_device("IonQ-11Q").average_degree() == pytest.approx(10.0)
+
+    def test_noise_model_dimensions(self):
+        device = get_device("IBM-Guadalupe-16Q")
+        model = device.noise_model()
+        assert model.num_qubits == 16
+        subset = device.noise_model(qubits=[3, 5, 8])
+        assert subset.num_qubits == 3
+
+    def test_noise_model_reflects_calibration(self):
+        device = get_device("IBM-Montreal-27Q")
+        model = device.noise_model()
+        assert model.error_1q[0] == pytest.approx(device.calibration.error_1q)
+        assert model.readout_error[0] == pytest.approx(device.calibration.readout_error)
+
+    def test_zero_qubit_noise_model_rejected(self):
+        with pytest.raises(DeviceError):
+            get_device("AQT-4Q").noise_model(qubits=[])

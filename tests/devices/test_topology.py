@@ -1,0 +1,61 @@
+"""Tests for device topologies."""
+
+import networkx as nx
+import pytest
+
+from repro.devices import (
+    all_to_all_topology,
+    grid_topology,
+    heavy_hex_topology,
+    line_topology,
+    ring_topology,
+    topology_from_edges,
+)
+from repro.exceptions import DeviceError
+
+
+class TestGenericTopologies:
+    def test_line(self):
+        graph = line_topology(5)
+        assert graph.number_of_edges() == 4
+        assert nx.is_connected(graph)
+
+    def test_ring(self):
+        graph = ring_topology(6)
+        assert graph.number_of_edges() == 6
+        assert all(degree == 2 for _node, degree in graph.degree())
+
+    def test_small_ring_degenerates_to_line(self):
+        assert ring_topology(2).number_of_edges() == 1
+
+    def test_grid(self):
+        graph = grid_topology(3, 4)
+        assert graph.number_of_nodes() == 12
+        assert graph.number_of_edges() == 3 * 3 + 2 * 4
+
+    def test_all_to_all(self):
+        graph = all_to_all_topology(5)
+        assert graph.number_of_edges() == 10
+
+    def test_invalid_edges_rejected(self):
+        with pytest.raises(DeviceError):
+            topology_from_edges(2, [(0, 5)])
+        with pytest.raises(DeviceError):
+            topology_from_edges(2, [(1, 1)])
+
+
+class TestHeavyHex:
+    @pytest.mark.parametrize("size,edges", [(7, 6), (16, 16), (27, 28)])
+    def test_known_sizes(self, size, edges):
+        graph = heavy_hex_topology(size)
+        assert graph.number_of_nodes() == size
+        assert graph.number_of_edges() == edges
+        assert nx.is_connected(graph)
+
+    def test_degree_bounded_by_three(self):
+        graph = heavy_hex_topology(27)
+        assert max(dict(graph.degree()).values()) <= 3
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(DeviceError):
+            heavy_hex_topology(13)

@@ -1,0 +1,158 @@
+"""Tests for the six SupermarQ feature definitions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, random_clifford_circuit
+from repro.features import (
+    FEATURE_NAMES,
+    compute_features,
+    critical_depth,
+    entanglement_ratio,
+    feature_vector,
+    liveness,
+    measurement,
+    parallelism,
+    program_communication,
+    typical_features,
+)
+
+
+def _ghz(n):
+    circuit = Circuit(n).h(0)
+    for q in range(n - 1):
+        circuit.cx(q, q + 1)
+    return circuit
+
+
+class TestProgramCommunication:
+    def test_ghz_ladder_matches_formula(self):
+        # Interaction graph of a 4-qubit ladder is a path: degrees 1,2,2,1.
+        assert program_communication(_ghz(4)) == pytest.approx(6 / 12)
+
+    def test_complete_interaction_is_one(self):
+        circuit = Circuit(3).cx(0, 1).cx(1, 2).cx(0, 2)
+        assert program_communication(circuit) == pytest.approx(1.0)
+
+    def test_no_interactions_is_zero(self):
+        assert program_communication(Circuit(3).h(0).h(1)) == 0.0
+
+    def test_single_qubit_circuit(self):
+        assert program_communication(Circuit(1).h(0)) == 0.0
+
+
+class TestCriticalDepth:
+    def test_fully_serial_ladder_is_one(self):
+        circuit = Circuit(3).cx(0, 1).cx(1, 2).cx(0, 1)
+        assert critical_depth(circuit) == pytest.approx(1.0)
+
+    def test_parallel_pairs_reduce_value(self):
+        circuit = Circuit(4).cx(0, 1).cx(2, 3)
+        assert critical_depth(circuit) == pytest.approx(0.5)
+
+    def test_no_two_qubit_gates_is_zero(self):
+        assert critical_depth(Circuit(2).h(0).h(1)) == 0.0
+
+
+class TestEntanglementRatio:
+    def test_half_entangling(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        assert entanglement_ratio(circuit) == pytest.approx(0.5)
+
+    def test_all_entangling(self):
+        circuit = Circuit(2).cx(0, 1).cx(1, 0)
+        assert entanglement_ratio(circuit) == pytest.approx(1.0)
+
+    def test_empty_circuit(self):
+        assert entanglement_ratio(Circuit(2)) == 0.0
+
+    def test_measurements_count_as_operations(self):
+        circuit = Circuit(2).cx(0, 1).measure_all()
+        assert entanglement_ratio(circuit) == pytest.approx(1 / 3)
+
+
+class TestParallelism:
+    def test_fully_parallel_layer(self):
+        circuit = Circuit(4).h(0).h(1).h(2).h(3)
+        assert parallelism(circuit) == pytest.approx(1.0)
+
+    def test_fully_serial_single_qubit(self):
+        circuit = Circuit(2)
+        for _ in range(5):
+            circuit.h(0)
+        assert parallelism(circuit) == 0.0
+
+    def test_empty_circuit(self):
+        assert parallelism(Circuit(3)) == 0.0
+
+
+class TestLiveness:
+    def test_always_active(self):
+        circuit = Circuit(2).h(0).h(1).cx(0, 1)
+        assert liveness(circuit) == pytest.approx(1.0)
+
+    def test_idle_qubit_halves_liveness(self):
+        circuit = Circuit(2).h(0).h(0)
+        assert liveness(circuit) == pytest.approx(0.5)
+
+    def test_empty_circuit(self):
+        assert liveness(Circuit(2)) == 0.0
+
+
+class TestMeasurementFeature:
+    def test_no_measurement(self):
+        assert measurement(_ghz(3)) == 0.0
+
+    def test_terminal_measurement_not_counted(self):
+        circuit = _ghz(3).measure_all()
+        assert measurement(circuit) == 0.0
+
+    def test_mid_circuit_measurement_counted(self):
+        circuit = Circuit(2, 2).h(0).measure(0, 0).x(0).measure(1, 1)
+        assert measurement(circuit) > 0.0
+
+    def test_reset_counted(self):
+        circuit = Circuit(2).h(0).reset(1).cx(0, 1)
+        assert measurement(circuit) > 0.0
+
+    def test_error_correction_benchmark_has_high_measurement(self):
+        from repro.benchmarks import BitCodeBenchmark, GHZBenchmark
+
+        bit_code = BitCodeBenchmark(3, 3).features().measurement
+        ghz = GHZBenchmark(5).features().measurement
+        assert bit_code > ghz
+
+
+class TestFeatureVector:
+    def test_vector_matches_named_features(self):
+        circuit = _ghz(4).measure_all()
+        vector = feature_vector(circuit)
+        named = compute_features(circuit).as_dict()
+        assert np.allclose(vector, [named[name] for name in FEATURE_NAMES])
+
+    def test_typical_features(self):
+        circuit = _ghz(4)
+        typical = typical_features(circuit)
+        assert typical["num_qubits"] == 4
+        assert typical["num_two_qubit_gates"] == 3
+        assert typical["depth"] == 4
+
+    @given(num_qubits=st.integers(2, 6), seed=st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_all_features_in_unit_interval(self, num_qubits, seed):
+        circuit = random_clifford_circuit(num_qubits, 30, rng=seed)
+        circuit.measure_all()
+        vector = feature_vector(circuit)
+        assert np.all(vector >= 0.0)
+        assert np.all(vector <= 1.0)
+
+    def test_paper_figure1_qualitative_shapes(self):
+        """GHZ: serial, low parallelism; QAOA on complete graphs: high communication."""
+        from repro.benchmarks import GHZBenchmark, VanillaQAOABenchmark
+
+        ghz = GHZBenchmark(5).features()
+        qaoa = VanillaQAOABenchmark(5).features()
+        assert ghz.critical_depth == pytest.approx(1.0)
+        assert qaoa.program_communication == pytest.approx(1.0)
+        assert qaoa.parallelism > ghz.parallelism

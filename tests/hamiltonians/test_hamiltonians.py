@@ -1,0 +1,141 @@
+"""Tests for the TFIM, the SK model and Trotterisation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit
+from repro.exceptions import BenchmarkError
+from repro.hamiltonians import (
+    SKModel,
+    TimeDependentTFIM,
+    TransverseFieldIsing,
+    tfim_exact_ground_energy,
+    tfim_free_fermion_ground_energy,
+    tfim_hamiltonian,
+    trotter_circuit,
+)
+from repro.simulation import final_statevector
+
+
+class TestTFIM:
+    def test_needs_two_spins(self):
+        with pytest.raises(BenchmarkError):
+            TransverseFieldIsing(1)
+
+    def test_term_count_open_chain(self):
+        model = TransverseFieldIsing(4)
+        assert len(model.hamiltonian()) == 3 + 4
+        assert len(model.zz_terms()) == 3
+        assert len(model.x_terms()) == 4
+
+    def test_periodic_adds_one_bond(self):
+        assert len(TransverseFieldIsing(4, periodic=True).bonds()) == 4
+
+    def test_exact_ground_energy_two_spins(self):
+        # H = -Z0 Z1 - X0 - X1 has ground energy -(1 + sqrt(2)) ... check numerically.
+        energy = tfim_exact_ground_energy(2, coupling=1.0, field=1.0)
+        matrix = tfim_hamiltonian(2).matrix(2)
+        assert energy == pytest.approx(float(np.linalg.eigvalsh(matrix)[0]))
+
+    def test_ground_energy_decreases_with_size(self):
+        e4 = tfim_exact_ground_energy(4)
+        e6 = tfim_exact_ground_energy(6)
+        assert e6 < e4
+
+    def test_exact_diagonalisation_limit(self):
+        with pytest.raises(BenchmarkError):
+            tfim_exact_ground_energy(15)
+
+    def test_free_fermion_matches_exact_for_periodic_chain(self):
+        for n in (4, 6, 8):
+            exact = tfim_exact_ground_energy(n, periodic=True)
+            analytic = tfim_free_fermion_ground_energy(n)
+            assert analytic == pytest.approx(exact, rel=1e-6)
+
+    def test_free_fermion_scales_to_large_systems(self):
+        energy = tfim_free_fermion_ground_energy(1000)
+        assert energy / 1000 == pytest.approx(-4 / math.pi, rel=1e-3)
+
+
+class TestSKModel:
+    def test_random_instance_weights_are_pm_one(self):
+        model = SKModel.random(5, seed=0)
+        assert len(model.weights) == 10
+        assert all(w in (-1.0, 1.0) for _pair, w in model.weights)
+
+    def test_reproducible(self):
+        assert SKModel.random(4, seed=3).weights == SKModel.random(4, seed=3).weights
+
+    def test_energy_and_cut_are_consistent(self):
+        model = SKModel.random(4, seed=1)
+        total = sum(w for _pair, w in model.weights)
+        bits = "0101"
+        # energy = sum w * s_i s_j with s = +1/-1; cut counts crossing edges.
+        energy = model.energy(bits)
+        cut = model.cut_value(bits)
+        uncut = total - cut
+        assert energy == pytest.approx(uncut - cut)
+
+    def test_brute_force_minimum_is_lower_bound(self):
+        model = SKModel.random(5, seed=2)
+        best_energy, best_bits = model.brute_force_minimum()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            bits = "".join(rng.choice(["0", "1"], size=5))
+            assert model.energy(bits) >= best_energy - 1e-9
+
+    def test_hamiltonian_matches_classical_energy(self):
+        model = SKModel.random(3, seed=4)
+        matrix = model.hamiltonian().matrix(3)
+        diagonal = np.real(np.diag(matrix))
+        for index in range(8):
+            bits = "".join("1" if (index >> q) & 1 else "0" for q in range(3))
+            assert diagonal[index] == pytest.approx(model.energy(bits))
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(BenchmarkError):
+            SKModel.random(3, seed=0).energy("01")
+
+
+class TestTrotter:
+    def test_invalid_parameters_rejected(self):
+        model = TimeDependentTFIM(3)
+        with pytest.raises(BenchmarkError):
+            trotter_circuit(model, time_step=0.1, steps=0)
+        with pytest.raises(BenchmarkError):
+            trotter_circuit(model, time_step=-0.1, steps=1)
+
+    def test_gate_counts_scale_with_steps(self):
+        model = TimeDependentTFIM(4)
+        one = trotter_circuit(model, 0.1, steps=1, initial_hadamard=False)
+        three = trotter_circuit(model, 0.1, steps=3, initial_hadamard=False)
+        assert three.num_gates() == 3 * one.num_gates()
+
+    def test_first_order_trotter_converges(self):
+        """Finer Trotter steps approach the exact propagator for a static field."""
+        spins = 3
+        total_time = 0.6
+        model = TimeDependentTFIM(
+            spins, coupling=0.7, drive_amplitude=0.9, drive_frequency=0.0
+        )
+        hamiltonian = tfim_hamiltonian(spins, coupling=0.7, field=0.9).matrix(spins)
+        from scipy.linalg import expm
+
+        exact = expm(-1j * hamiltonian * total_time)[:, 0]
+
+        def trotter_state(steps):
+            circuit = trotter_circuit(model, total_time / steps, steps, initial_hadamard=False)
+            return final_statevector(circuit)
+
+        coarse = abs(np.vdot(exact, trotter_state(2))) ** 2
+        fine = abs(np.vdot(exact, trotter_state(16))) ** 2
+        assert fine > coarse - 1e-9
+        assert fine > 0.999
+
+    def test_field_at_follows_cosine(self):
+        model = TimeDependentTFIM(3, drive_amplitude=2.0, drive_frequency=math.pi)
+        assert model.field_at(0.0) == pytest.approx(2.0)
+        assert model.field_at(1.0) == pytest.approx(-2.0)

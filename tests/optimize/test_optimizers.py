@@ -1,0 +1,70 @@
+"""Tests for the classical optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.optimize import grid_search, minimize_nelder_mead, minimize_spsa
+
+
+def quadratic(x):
+    return float(np.sum((np.asarray(x) - 1.5) ** 2))
+
+
+def rosenbrock(x):
+    x = np.asarray(x)
+    return float((1 - x[0]) ** 2 + 100 * (x[1] - x[0] ** 2) ** 2)
+
+
+class TestNelderMead:
+    def test_minimises_quadratic(self):
+        result = minimize_nelder_mead(quadratic, [0.0, 0.0, 0.0])
+        assert result.value < 1e-6
+        assert np.allclose(result.parameters, 1.5, atol=1e-2)
+
+    def test_minimises_rosenbrock(self):
+        result = minimize_nelder_mead(rosenbrock, [-0.5, 0.5], max_iterations=2000)
+        assert result.value < 1e-3
+
+    def test_reports_evaluation_count(self):
+        result = minimize_nelder_mead(quadratic, [0.0])
+        assert result.evaluations > 0
+
+    def test_empty_initial_rejected(self):
+        with pytest.raises(ReproError):
+            minimize_nelder_mead(quadratic, [])
+
+    def test_converged_flag_set_on_easy_problem(self):
+        result = minimize_nelder_mead(quadratic, [0.2, 0.3])
+        assert result.converged
+
+
+class TestSPSA:
+    def test_minimises_quadratic(self):
+        result = minimize_spsa(quadratic, [0.0, 0.0], max_iterations=300, seed=0)
+        assert result.value < 0.05
+
+    def test_handles_noisy_objective(self):
+        rng = np.random.default_rng(0)
+
+        def noisy(x):
+            return quadratic(x) + rng.normal(scale=0.01)
+
+        result = minimize_spsa(noisy, [0.0, 0.0], max_iterations=300, seed=1)
+        assert quadratic(result.parameters) < 0.2
+
+    def test_empty_initial_rejected(self):
+        with pytest.raises(ReproError):
+            minimize_spsa(quadratic, [])
+
+
+class TestGridSearch:
+    def test_finds_minimum_on_grid(self):
+        result = grid_search(quadratic, [(-2, 2), (-2, 2)], resolution=41)
+        assert result.value < 0.05
+
+    def test_dimension_limits(self):
+        with pytest.raises(ReproError):
+            grid_search(quadratic, [])
+        with pytest.raises(ReproError):
+            grid_search(quadratic, [(-1, 1)] * 4)

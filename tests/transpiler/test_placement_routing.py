@@ -1,0 +1,154 @@
+"""Tests for placement, routing and the full transpilation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, ghz_ladder
+from repro.devices import get_device
+from repro.exceptions import TranspilerError
+from repro.simulation import StatevectorSimulator, circuit_unitary, final_statevector
+from repro.transpiler import (
+    SUPPORTED_BASES,
+    noise_aware_placement,
+    route_circuit,
+    transpile,
+    trivial_placement,
+)
+from repro.utils import equivalent_up_to_global_phase
+
+
+class TestPlacement:
+    def test_trivial_placement(self, ibm_device):
+        circuit = ghz_ladder(3)
+        assert trivial_placement(circuit, ibm_device) == {0: 0, 1: 1, 2: 2}
+
+    def test_circuit_too_large_rejected(self, aqt_device):
+        with pytest.raises(TranspilerError):
+            trivial_placement(ghz_ladder(5), aqt_device)
+
+    def test_noise_aware_placement_is_injective(self, ibm_device):
+        circuit = ghz_ladder(5)
+        placement = noise_aware_placement(circuit, ibm_device)
+        assert len(placement) == 5
+        assert len(set(placement.values())) == 5
+
+    def test_noise_aware_placement_selects_connected_region(self, ibm_device):
+        circuit = ghz_ladder(4)
+        placement = noise_aware_placement(circuit, ibm_device)
+        region = set(placement.values())
+        subgraph = ibm_device.topology().subgraph(region)
+        import networkx as nx
+
+        assert nx.is_connected(subgraph)
+
+    def test_all_to_all_placement(self, ionq_device):
+        placement = noise_aware_placement(ghz_ladder(4), ionq_device)
+        assert sorted(placement.values()) == [0, 1, 2, 3]
+
+
+class TestRouting:
+    def test_no_swaps_needed_on_all_to_all(self, ionq_device):
+        circuit = Circuit(3).cx(0, 2).cx(1, 2)
+        routed = route_circuit(circuit, ionq_device, {0: 0, 1: 1, 2: 2})
+        assert routed.swap_count == 0
+
+    def test_swaps_inserted_for_distant_qubits(self):
+        device = get_device("IBM-Santiago-5Q")  # a line
+        circuit = Circuit(5).cx(0, 4)
+        routed = route_circuit(circuit, device, {q: q for q in range(5)})
+        assert routed.swap_count >= 3
+        topology = device.topology()
+        for instruction in routed.circuit:
+            if instruction.is_two_qubit():
+                assert topology.has_edge(*instruction.qubits)
+
+    def test_final_layout_tracks_swaps(self):
+        device = get_device("IBM-Santiago-5Q")
+        circuit = Circuit(3).cx(0, 2)
+        routed = route_circuit(circuit, device, {0: 0, 1: 1, 2: 2})
+        assert routed.swap_count == 1
+        assert set(routed.final_layout.values()) == {routed.final_layout[q] for q in range(3)}
+
+    def test_missing_placement_rejected(self, ibm_device):
+        with pytest.raises(TranspilerError):
+            route_circuit(Circuit(2).cx(0, 1), ibm_device, {0: 0})
+
+    def test_multi_qubit_gate_rejected(self, ibm_device):
+        with pytest.raises(TranspilerError):
+            route_circuit(Circuit(3).ccx(0, 1, 2), ibm_device, {0: 0, 1: 1, 2: 2})
+
+
+class TestTranspilePipeline:
+    @pytest.mark.parametrize(
+        "device_name", ["IBM-Casablanca-7Q", "IonQ-11Q", "AQT-4Q", "IBM-Santiago-5Q"]
+    )
+    def test_only_native_gates_and_coupled_pairs(self, device_name):
+        device = get_device(device_name)
+        circuit = Circuit(4, 4).h(0).cx(0, 1).rzz(0.4, 1, 2).cx(2, 3).measure_all()
+        if circuit.num_qubits > device.num_qubits:
+            circuit = Circuit(3, 3).h(0).cx(0, 1).rzz(0.4, 1, 2).measure_all()
+        result = transpile(circuit, device)
+        allowed = set(device.basis_gates) | {"measure", "reset", "barrier"}
+        assert set(result.circuit.count_ops()) <= allowed
+        topology = device.topology()
+        for instruction in result.circuit:
+            if instruction.is_two_qubit():
+                assert topology.has_edge(*instruction.qubits)
+
+    def test_too_large_circuit_rejected(self, aqt_device):
+        with pytest.raises(TranspilerError):
+            transpile(ghz_ladder(6), aqt_device)
+
+    def test_measurements_preserved(self, ibm_device):
+        circuit = ghz_ladder(3, measure=True)
+        result = transpile(circuit, ibm_device)
+        assert result.circuit.num_measurements() == 3
+
+    def test_unitary_preserved_on_all_to_all_device(self, ionq_device):
+        """Without routing permutations the compiled unitary must match exactly."""
+        circuit = Circuit(3).h(0).cx(0, 1).rzz(0.3, 1, 2).t(2)
+        result = transpile(circuit, ionq_device, placement="trivial")
+        compact, physical = result.compact()
+        remap = {p: i for i, p in enumerate(physical)}
+        assert remap == {0: 0, 1: 1, 2: 2}
+        assert equivalent_up_to_global_phase(
+            circuit_unitary(circuit), circuit_unitary(compact), atol=1e-7
+        )
+
+    def test_compiled_ghz_still_produces_ghz_counts(self, ibm_device):
+        circuit = ghz_ladder(4, measure=True)
+        result = transpile(circuit, ibm_device)
+        compact, _physical = result.compact()
+        counts = StatevectorSimulator(seed=0).run(compact, shots=400)
+        assert set(counts) == {"0000", "1111"}
+
+    def test_compact_reindexes_to_zero_based(self, ibm_device):
+        result = transpile(ghz_ladder(3, measure=True), ibm_device)
+        compact, physical = result.compact()
+        assert compact.num_qubits == len(physical)
+        assert compact.active_qubits() == tuple(range(len(physical)))
+
+    def test_swap_overhead_larger_on_sparse_topology(self):
+        """All-to-all workloads pay a SWAP penalty on sparse devices (paper Sec. VI)."""
+        from repro.benchmarks import VanillaQAOABenchmark
+
+        circuit = VanillaQAOABenchmark(5).circuit()
+        sparse = transpile(circuit, get_device("IBM-Casablanca-7Q"))
+        dense = transpile(circuit, get_device("IonQ-11Q"))
+        assert dense.swap_count == 0
+        assert sparse.swap_count > 0
+        assert sparse.two_qubit_gate_count() > dense.two_qubit_gate_count()
+
+    def test_optimization_levels_do_not_change_semantics(self, ionq_device):
+        circuit = Circuit(3).h(0).h(0).cx(0, 1).rz(0.2, 1).rz(-0.2, 1).cx(1, 2)
+        level0 = transpile(circuit, ionq_device, optimization_level=0, placement="trivial")
+        level2 = transpile(circuit, ionq_device, optimization_level=2, placement="trivial")
+        compact0, _ = level0.compact()
+        compact2, _ = level2.compact()
+        state0 = final_statevector(compact0)
+        state2 = final_statevector(compact2)
+        assert equivalent_up_to_global_phase(state0, state2, atol=1e-7)
+
+    def test_unknown_placement_rejected(self, ibm_device):
+        with pytest.raises(TranspilerError):
+            transpile(ghz_ladder(3), ibm_device, placement="magic")
