@@ -1,0 +1,65 @@
+"""Execution-engine hot paths: transpile caching and parallel batch fan-out.
+
+Two targets:
+
+* cold vs warm transpile cache — the warm path (what every repetition after
+  the first pays) must be dominated by simulation, not compilation;
+* serial vs pooled batch execution — the same seeded batch through
+  ``max_workers=1`` and ``max_workers=4`` must give identical counts, with
+  the pooled run at least not slower.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import GHZBenchmark, VanillaQAOABenchmark
+from repro.devices import get_device
+from repro.execution import ExecutionEngine, TrajectoryBackend
+
+DEVICE = "IBM-Casablanca-7Q"
+SHOTS = 120
+TRAJECTORIES = 20
+
+
+def test_warm_cache_benchmark_run(benchmark):
+    """Repetitions after the first never re-transpile."""
+    device = get_device(DEVICE)
+    engine = ExecutionEngine(
+        device, backend=TrajectoryBackend(trajectories=TRAJECTORIES), max_workers=1
+    )
+    bench = VanillaQAOABenchmark(4, seed=0)
+    engine.run(bench, shots=SHOTS, repetitions=1, seed=3)  # warm the cache
+
+    def warm_run():
+        return engine.run(bench, shots=SHOTS, repetitions=2, seed=3)
+
+    run = benchmark(warm_run)
+    engine.close()
+    stats = engine.stats()
+    assert stats["misses"] == len(bench.circuits())
+    assert stats["hits"] >= stats["misses"]
+    assert 0.0 <= run.mean_score <= 1.0
+
+
+def test_parallel_batch_matches_serial(benchmark):
+    """Fan-out over 4 workers is seed-deterministic and benchmarked."""
+    device = get_device(DEVICE)
+    circuits = [GHZBenchmark(n).circuits()[0] for n in (3, 4, 5, 6)] * 2
+
+    with ExecutionEngine(
+        device, backend=TrajectoryBackend(trajectories=TRAJECTORIES), max_workers=1
+    ) as serial:
+        expected = serial.run_circuits(circuits, shots=SHOTS, seed=11)
+
+    engine = ExecutionEngine(
+        device, backend=TrajectoryBackend(trajectories=TRAJECTORIES), max_workers=4
+    )
+    engine.prepare(circuits)  # measure execution, not compilation
+
+    def pooled_run():
+        return engine.run_circuits(circuits, shots=SHOTS, seed=11)
+
+    observed = benchmark(pooled_run)
+    engine.close()
+    assert [dict(c) for c in observed] == [dict(c) for c in expected]

@@ -2,7 +2,10 @@
 
 The Fig. 2 sweep is the expensive part of the reproduction, so it is run once
 per session at a reduced-but-representative configuration and shared by the
-Fig. 2 / Fig. 3 / Fig. 4 benchmark targets.
+Fig. 2 / Fig. 3 / Fig. 4 benchmark targets.  The sweep goes through the
+unified :class:`~repro.execution.ExecutionEngine` (transpile caching plus a
+small worker pool); results are seed-deterministic regardless of the worker
+count.
 """
 
 from __future__ import annotations
@@ -26,4 +29,6 @@ def figure2_runs():
         repetitions=2,
         trajectories=30,
         seed=2022,
+        backend="trajectory",
+        max_workers=4,
     )

@@ -2,8 +2,16 @@
 """Cross-platform comparison: a mini version of the paper's Fig. 2 + Fig. 3.
 
 Runs a handful of benchmark instances on three device models (two
-superconducting, one trapped-ion), prints the score table, and then computes
-the per-device correlation between the application features and the scores.
+superconducting, one trapped-ion) through the unified execution engine,
+prints the score table, and then computes the per-device correlation between
+the application features and the scores.
+
+One :class:`~repro.execution.ExecutionEngine` is created per device: the
+engine transpiles each benchmark circuit exactly once (the compilation is
+reused across repetitions) and fans the shots out over a small worker pool.
+Swap the
+``backend=`` argument for ``"statevector"`` (ideal) or ``"density_matrix"``
+(exact noisy, small circuits only) to change how the circuits are simulated.
 
 Run with:  python examples/cross_platform_comparison.py
 (The full nine-device sweep is available via repro.experiments.reproduce_figure2.)
@@ -18,12 +26,9 @@ from repro.benchmarks import (
     VanillaQAOABenchmark,
 )
 from repro.devices import get_device
-from repro.experiments import (
-    render_figure2,
-    render_figure3,
-    run_benchmark_on_device,
-)
-from repro.exceptions import DeviceError
+from repro.exceptions import BackendCapacityError, DeviceError
+from repro.execution import ExecutionEngine, TrajectoryBackend
+from repro.experiments import render_figure2, render_figure3
 
 DEVICES = ["IBM-Casablanca-7Q", "IBM-Toronto-27Q", "IonQ-11Q"]
 BENCHMARKS = [
@@ -39,19 +44,28 @@ def main() -> None:
     runs = []
     for device_name in DEVICES:
         device = get_device(device_name)
-        for benchmark in BENCHMARKS:
-            try:
-                run = run_benchmark_on_device(
-                    benchmark, device, shots=200, repetitions=2, trajectories=40, seed=7
+        with ExecutionEngine(
+            device, backend=TrajectoryBackend(trajectories=40), max_workers=4
+        ) as engine:
+            for benchmark in BENCHMARKS:
+                try:
+                    run = engine.run(benchmark, shots=200, repetitions=2, seed=7)
+                except BackendCapacityError as error:
+                    print(f"  [skip] {error}")
+                    continue
+                except DeviceError:
+                    print(f"  [skip] {benchmark} does not fit on {device.name}")
+                    continue
+                runs.append(run)
+                print(
+                    f"  {str(benchmark):<28s} on {device.name:<20s} "
+                    f"score = {run.mean_score:.3f} ± {run.std_score:.3f} "
+                    f"(swaps={run.swap_count})"
                 )
-            except DeviceError:
-                print(f"  [skip] {benchmark} does not fit on {device.name}")
-                continue
-            runs.append(run)
+            stats = engine.stats()
             print(
-                f"  {str(benchmark):<28s} on {device.name:<20s} "
-                f"score = {run.mean_score:.3f} ± {run.std_score:.3f} "
-                f"(swaps={run.swap_count})"
+                f"  [{device.name}] transpiled {stats['misses']} unique circuits "
+                f"(compilations reused across all repetitions)"
             )
 
     print("\n=== Score table (mini Fig. 2) ===")

@@ -8,6 +8,24 @@ The package provides:
 * :mod:`repro.devices` — the nine QPU models of the paper's Table II.
 * :mod:`repro.transpiler` — basis translation, placement, routing and the
   Closed-Division optimizations.
+* :mod:`repro.execution` — the unified execution engine: a benchmark or
+  circuit batch is submitted once and the engine lowers it to the target
+  device through a transpile cache (each circuit is compiled at most once per
+  device), fans it out across a worker pool, and runs it on a pluggable
+  backend — :class:`~repro.execution.StatevectorBackend` (ideal),
+  :class:`~repro.execution.TrajectoryBackend` (noisy Monte-Carlo) or
+  :class:`~repro.execution.DensityMatrixBackend` (exact noisy).  Typical use::
+
+      from repro import ExecutionEngine, get_device
+      from repro.benchmarks import GHZBenchmark
+
+      with ExecutionEngine(get_device("IonQ-11Q"), backend="trajectory",
+                           max_workers=4) as engine:
+          run = engine.run(GHZBenchmark(5), shots=1000, repetitions=3)
+
+  The legacy helpers ``repro.experiments.run_benchmark_on_device`` and
+  ``repro.experiments.execute_circuits`` are deprecated shims over this
+  engine (see ``docs/execution.md``).
 * :mod:`repro.features` — the six SupermarQ application features.
 * :mod:`repro.benchmarks` — the eight benchmark applications with their
   circuit generators and score functions.
@@ -21,6 +39,7 @@ from . import (
     circuits,
     coverage,
     devices,
+    execution,
     experiments,
     features,
     hamiltonians,
@@ -42,11 +61,20 @@ from .benchmarks import (
 )
 from .circuits import Circuit
 from .devices import Device, get_device
+from .execution import (
+    Backend,
+    DensityMatrixBackend,
+    ExecutionEngine,
+    Job,
+    StatevectorBackend,
+    TrajectoryBackend,
+    TranspileCache,
+)
 from .features import compute_features, feature_vector
 from .simulation import NoiseModel, StatevectorSimulator
 from .transpiler import transpile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -58,6 +86,13 @@ __all__ = [
     "transpile",
     "compute_features",
     "feature_vector",
+    "Backend",
+    "ExecutionEngine",
+    "Job",
+    "TranspileCache",
+    "StatevectorBackend",
+    "TrajectoryBackend",
+    "DensityMatrixBackend",
     "Benchmark",
     "GHZBenchmark",
     "MerminBellBenchmark",
@@ -72,6 +107,7 @@ __all__ = [
     "circuits",
     "coverage",
     "devices",
+    "execution",
     "experiments",
     "features",
     "hamiltonians",

@@ -40,6 +40,11 @@ class DeviceError(ReproError):
     """Raised when a device description is invalid or unknown."""
 
 
+class BackendCapacityError(DeviceError):
+    """Raised when a circuit fits the device but exceeds an execution
+    backend's capacity (e.g. the density-matrix width limit)."""
+
+
 class BenchmarkError(ReproError):
     """Raised when a benchmark is instantiated with invalid parameters."""
 

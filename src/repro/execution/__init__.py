@@ -1,0 +1,43 @@
+"""Unified execution API: pluggable backends, transpile caching, parallel jobs.
+
+This package is the single seam between *what to run* (circuits, benchmarks)
+and *how it runs* (which simulator, how many workers, how noise is treated):
+
+* :class:`Backend` — the protocol; :class:`StatevectorBackend` (ideal),
+  :class:`TrajectoryBackend` (noisy Monte-Carlo) and
+  :class:`DensityMatrixBackend` (exact noisy) implement it.
+* :class:`TranspileCache` — memoised compilation keyed on
+  ``(circuit fingerprint, device, optimization_level)``.
+* :class:`ExecutionEngine` — owns a cache and a worker pool; ``submit()``
+  returns async :class:`Job` handles, ``run()``/``run_suite()`` produce
+  :class:`BenchmarkRun` results for the experiment drivers.
+
+See ``docs/execution.md`` for the full API walkthrough.
+"""
+
+from .backends import (
+    Backend,
+    DensityMatrixBackend,
+    StatevectorBackend,
+    TrajectoryBackend,
+    resolve_backend,
+)
+from .cache import CacheEntry, TranspileCache, circuit_fingerprint
+from .engine import ExecutionEngine
+from .job import Job, JobStatus
+from .results import BenchmarkRun
+
+__all__ = [
+    "Backend",
+    "StatevectorBackend",
+    "TrajectoryBackend",
+    "DensityMatrixBackend",
+    "resolve_backend",
+    "CacheEntry",
+    "TranspileCache",
+    "circuit_fingerprint",
+    "ExecutionEngine",
+    "Job",
+    "JobStatus",
+    "BenchmarkRun",
+]

@@ -1,0 +1,129 @@
+"""Transpile caching: fingerprint circuits, compile each one at most once.
+
+The experiment drivers execute the same logical circuits over and over —
+``repetitions`` times per benchmark, and once more for the compiled-circuit
+metadata of :class:`~repro.execution.results.BenchmarkRun`.  Transpilation is
+deterministic for a fixed ``(circuit, device, optimization_level)`` triple, so
+the :class:`TranspileCache` memoises the full pipeline output (including the
+compacted simulation circuit) behind a structural circuit fingerprint.
+
+The cache is thread-safe: the :class:`~repro.execution.engine.ExecutionEngine`
+shares one instance across its worker pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..circuits import Circuit
+from ..devices import Device
+from ..simulation.noise_model import NoiseModel
+from ..transpiler import TranspiledCircuit, transpile
+
+__all__ = ["circuit_fingerprint", "CacheEntry", "TranspileCache"]
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """Stable structural fingerprint of a circuit.
+
+    Two circuits with the same qubit/clbit counts and the same instruction
+    sequence (gate names, parameters, qubit and clbit operands) produce the
+    same fingerprint, independently of object identity or circuit name.
+    """
+    hasher = hashlib.sha1()
+    hasher.update(f"{circuit.num_qubits},{circuit.num_clbits};".encode())
+    for instruction in circuit:
+        hasher.update(instruction.gate.name.encode())
+        hasher.update(repr(instruction.gate.params).encode())
+        hasher.update(repr(instruction.qubits).encode())
+        hasher.update(repr(instruction.clbits).encode())
+        hasher.update(b"|")
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """Everything derived from one ``transpile()`` call.
+
+    Attributes:
+        transpiled: Full transpiler output (metadata source).
+        compact: The compiled circuit relabelled onto ``0..k-1`` for simulation.
+        physical: Physical qubits backing each compact qubit, in order.
+        two_qubit_gates: Two-qubit gate count of the compiled circuit.
+        depth: Depth of the compiled circuit.
+    """
+
+    transpiled: TranspiledCircuit
+    compact: Circuit
+    physical: Tuple[int, ...]
+    two_qubit_gates: int
+    depth: int
+    _noise_model: Optional[NoiseModel] = field(default=None, repr=False)
+    _noise_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def noise_model(self) -> NoiseModel:
+        """Device noise model matching the compacted circuit (built lazily, once)."""
+        with self._noise_lock:
+            if self._noise_model is None:
+                self._noise_model = self.transpiled.device.noise_model(self.physical)
+            return self._noise_model
+
+
+class TranspileCache:
+    """Memoises ``transpile()`` keyed on ``(fingerprint, device, optimization_level)``.
+
+    Attributes:
+        hits: Number of lookups answered from the cache.
+        misses: Number of lookups that had to invoke the transpiler.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str, int], CacheEntry] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_transpile(
+        self, circuit: Circuit, device: Device, optimization_level: int = 1
+    ) -> CacheEntry:
+        """Return the cached compilation of ``circuit`` for ``device``, compiling on miss."""
+        key = (circuit_fingerprint(circuit), device.name, int(optimization_level))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                return entry
+            self.misses += 1
+        # Transpile outside the lock so a slow compilation does not serialise
+        # unrelated lookups.  A concurrent duplicate compile is harmless:
+        # output is deterministic and setdefault keeps the first inserted
+        # entry, though each racer counts a miss, so misses may slightly
+        # exceed unique compilations under concurrency.
+        transpiled = transpile(circuit, device, optimization_level=optimization_level)
+        compact, physical = transpiled.compact()
+        entry = CacheEntry(
+            transpiled=transpiled,
+            compact=compact,
+            physical=tuple(physical),
+            two_qubit_gates=transpiled.two_qubit_gate_count(),
+            depth=transpiled.depth(),
+        )
+        with self._lock:
+            return self._entries.setdefault(key, entry)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus current size, for logging and tests."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}

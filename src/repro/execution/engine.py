@@ -1,0 +1,270 @@
+"""The execution engine: the single path from circuits to counts.
+
+:class:`ExecutionEngine` plays the role the SuperstaQ submission layer plays
+in the paper — a benchmark is specified once, the engine lowers it to the
+target device (through a shared :class:`~repro.execution.cache.TranspileCache`
+so nothing is ever compiled twice), fans the resulting batch out across a
+worker pool, and executes it on a pluggable
+:class:`~repro.execution.backends.Backend`.
+
+Determinism: per-circuit seeds are fixed functions of the batch seed and the
+circuit's position, so results are bit-identical for ``max_workers=1`` and
+``max_workers=N``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..benchmarks import Benchmark
+from ..circuits import Circuit
+from ..devices import Device
+from ..exceptions import BackendCapacityError, DeviceError
+from ..features import typical_features
+from ..simulation import Counts
+from .backends import Backend, circuit_seed, resolve_backend
+from .cache import CacheEntry, TranspileCache
+from .job import Job
+from .results import BenchmarkRun
+
+__all__ = ["ExecutionEngine", "REPETITION_STRIDE"]
+
+#: Per-repetition seed stride (kept identical to the historical runner so
+#: seeded benchmark scores are reproducible across releases).
+REPETITION_STRIDE = 104729
+
+
+class ExecutionEngine:
+    """Runs circuits and benchmarks on one device through one backend.
+
+    Args:
+        device: Target device model.
+        backend: A :class:`Backend` instance or name (``"statevector"``,
+            ``"trajectory"``, ``"density_matrix"``); default is the noisy
+            trajectory backend.
+        max_workers: Size of the worker pool batches are fanned out over.
+        optimization_level: Transpiler optimization level for every circuit.
+        cache: Optional shared :class:`TranspileCache`; a private cache is
+            created when omitted.
+        trajectories: Trajectory count for backends constructed here from a
+            name (or the default); ignored when ``backend`` is an instance.
+
+    The engine can be used as a context manager; :meth:`close` shuts the
+    worker pool down.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        backend: Union[Backend, str, None] = None,
+        max_workers: int = 1,
+        optimization_level: int = 1,
+        cache: Optional[TranspileCache] = None,
+        trajectories: Optional[int] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.device = device
+        self.backend = resolve_backend(backend, trajectories=trajectories)
+        self.max_workers = int(max_workers)
+        self.optimization_level = int(optimization_level)
+        self.cache = cache if cache is not None else TranspileCache()
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-exec"
+            )
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def check_fits(self, circuit: Circuit) -> None:
+        """Centralised oversized-circuit check (the black "X" entries of Fig. 2).
+
+        Raises:
+            DeviceError: when the circuit needs more qubits than the device
+                has; the message names both qubit counts.
+        """
+        if circuit.num_qubits > self.device.num_qubits:
+            label = f" {circuit.name!r}" if circuit.name else ""
+            raise DeviceError(
+                f"{circuit.num_qubits}-qubit circuit{label} does not fit on "
+                f"{self.device.name}: needs {circuit.num_qubits} qubits, "
+                f"device has {self.device.num_qubits}"
+            )
+
+    def prepare(self, circuits: Sequence[Circuit]) -> List[CacheEntry]:
+        """Fit-check and transpile every circuit (served from the cache when warm)."""
+        entries: List[CacheEntry] = []
+        backend_limit = getattr(self.backend, "max_qubits", None)
+        for circuit in circuits:
+            self.check_fits(circuit)
+            entry = self.cache.get_or_transpile(circuit, self.device, self.optimization_level)
+            if backend_limit is not None and entry.compact.num_qubits > backend_limit:
+                label = f" {circuit.name!r}" if circuit.name else ""
+                raise BackendCapacityError(
+                    f"circuit{label} compiles to {entry.compact.num_qubits} qubits, "
+                    f"exceeding the {self.backend.name} backend limit of "
+                    f"{backend_limit} qubits on {self.device.name}"
+                )
+            entries.append(entry)
+        return entries
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        circuits: Sequence[Circuit],
+        shots: int = 1000,
+        seed: Optional[int] = None,
+    ) -> Job:
+        """Compile (or fetch from cache) and asynchronously execute a batch.
+
+        Returns a :class:`Job` whose ``result()`` yields one
+        :class:`~repro.simulation.result.Counts` per circuit, in order.
+        """
+        return self._submit_prepared(circuits, self.prepare(circuits), shots, seed)
+
+    def _submit_prepared(
+        self,
+        circuits: Sequence[Circuit],
+        entries: Sequence[CacheEntry],
+        shots: int,
+        seed: Optional[int],
+    ) -> Job:
+        pool = self._pool()
+        futures: List["Future[Counts]"] = []
+        metadata: List[Dict[str, object]] = []
+        for index, (circuit, entry) in enumerate(zip(circuits, entries)):
+            noise = entry.noise_model() if self.backend.noisy else None
+            seed_here = circuit_seed(seed, index)
+            futures.append(
+                pool.submit(
+                    self._run_one, entry.compact, shots, noise, seed_here
+                )
+            )
+            metadata.append(
+                {
+                    "index": index,
+                    "name": circuit.name,
+                    "num_qubits": circuit.num_qubits,
+                    "compiled_qubits": len(entry.physical),
+                    "physical_qubits": entry.physical,
+                    "swap_count": entry.transpiled.swap_count,
+                    "compiled_two_qubit_gates": entry.two_qubit_gates,
+                    "compiled_depth": entry.depth,
+                    "seed": seed_here,
+                }
+            )
+        return Job(futures, metadata, shots=shots, backend_name=self.backend.name)
+
+    def _run_one(self, compact: Circuit, shots: int, noise, seed: Optional[int]) -> Counts:
+        return self.backend.run_batch([compact], shots, noise_model=[noise], seed=seed)[0]
+
+    def run_circuits(
+        self,
+        circuits: Sequence[Circuit],
+        shots: int = 1000,
+        seed: Optional[int] = None,
+    ) -> List[Counts]:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(circuits, shots=shots, seed=seed).result()
+
+    # ------------------------------------------------------------------
+    # benchmark-level API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        benchmark: Benchmark,
+        shots: int = 1000,
+        repetitions: int = 3,
+        seed: Optional[int] = 1234,
+    ) -> BenchmarkRun:
+        """Run one benchmark ``repetitions`` times and collect its scores.
+
+        All repetitions are submitted before any is awaited, so with
+        ``max_workers > 1`` they execute concurrently.
+
+        Raises:
+            DeviceError: when the benchmark needs more qubits than the device has.
+        """
+        circuits = benchmark.circuits()
+        entries = self.prepare(circuits)
+
+        jobs: List[Job] = []
+        for repetition in range(repetitions):
+            repetition_seed = None if seed is None else seed + REPETITION_STRIDE * repetition
+            jobs.append(self._submit_prepared(circuits, entries, shots, repetition_seed))
+        scores = [benchmark.score(job.result()) for job in jobs]
+
+        first = entries[0]
+        return BenchmarkRun(
+            benchmark=str(benchmark),
+            family=benchmark.name,
+            device=self.device.name,
+            scores=scores,
+            features=benchmark.features().as_dict(),
+            typical=typical_features(circuits[0]),
+            compiled_two_qubit_gates=first.two_qubit_gates,
+            compiled_depth=first.depth,
+            swap_count=first.transpiled.swap_count,
+            shots=shots,
+            backend=self.backend.name,
+        )
+
+    def run_suite(
+        self,
+        benchmarks: Iterable[Benchmark],
+        shots: int = 1000,
+        repetitions: int = 3,
+        seed: Optional[int] = 1234,
+        skip_oversized: bool = True,
+    ) -> List[BenchmarkRun]:
+        """Run a collection of benchmarks on this engine's device.
+
+        Args:
+            skip_oversized: When True (default), benchmarks that do not fit on
+                the device are skipped instead of raising — the black "X"
+                entries of Fig. 2.
+        """
+        runs: List[BenchmarkRun] = []
+        for benchmark in benchmarks:
+            try:
+                runs.append(
+                    self.run(benchmark, shots=shots, repetitions=repetitions, seed=seed)
+                )
+            except DeviceError:
+                if not skip_oversized:
+                    raise
+        return runs
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Transpile-cache statistics (hits, misses, entries)."""
+        return self.cache.stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExecutionEngine(device={self.device.name!r}, backend={self.backend.name!r}, "
+            f"max_workers={self.max_workers})"
+        )

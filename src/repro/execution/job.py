@@ -1,0 +1,91 @@
+"""Asynchronous job handles returned by :meth:`ExecutionEngine.submit`.
+
+A :class:`Job` wraps one future per circuit plus the per-circuit compilation
+metadata, so callers can overlap submission of independent batches and only
+block when they need the counts.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Sequence
+
+from ..simulation import Counts
+
+__all__ = ["Job", "JobStatus"]
+
+
+class JobStatus:
+    """String constants for :attr:`Job.status`."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    ERROR = "error"
+
+
+class Job:
+    """Handle to an in-flight batch of circuits.
+
+    Attributes:
+        shots: Shots per circuit.
+        backend_name: Name of the backend executing the batch.
+        metadata: One dict per circuit (compile stats, physical qubits, seed).
+    """
+
+    def __init__(
+        self,
+        futures: Sequence["Future[Counts]"],
+        metadata: Sequence[Dict[str, object]],
+        shots: int,
+        backend_name: str,
+    ) -> None:
+        self._futures = list(futures)
+        self.metadata = list(metadata)
+        self.shots = shots
+        self.backend_name = backend_name
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    # ------------------------------------------------------------------
+    @property
+    def status(self) -> str:
+        """Aggregate state: queued -> running -> done (or error)."""
+        if not self._futures:
+            return JobStatus.DONE
+        if all(f.done() for f in self._futures):
+            if any(f.exception() is not None for f in self._futures):
+                return JobStatus.ERROR
+            return JobStatus.DONE
+        if any(f.running() or f.done() for f in self._futures):
+            return JobStatus.RUNNING
+        return JobStatus.QUEUED
+
+    def done(self) -> bool:
+        return all(f.done() for f in self._futures)
+
+    def result(self, timeout: Optional[float] = None) -> List[Counts]:
+        """Block until every circuit finished; return counts in submission order.
+
+        ``timeout`` bounds the whole call, not each circuit.  Re-raises the
+        first per-circuit exception, if any.
+        """
+        if timeout is None:
+            return [future.result() for future in self._futures]
+        deadline = time.monotonic() + timeout
+        return [
+            future.result(timeout=max(0.0, deadline - time.monotonic()))
+            for future in self._futures
+        ]
+
+    def exceptions(self) -> List[Optional[BaseException]]:
+        """Per-circuit exceptions (``None`` for successes); blocks until done."""
+        return [future.exception() for future in self._futures]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Job(circuits={len(self)}, shots={self.shots}, "
+            f"backend={self.backend_name!r}, status={self.status!r})"
+        )

@@ -11,13 +11,14 @@ the all-to-all trapped-ion model wins the communication-heavy benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import warnings
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..benchmarks import figure2_benchmarks
 from ..devices import all_devices, get_device
-from ..exceptions import DeviceError
+from ..exceptions import BackendCapacityError, DeviceError
+from ..execution import Backend, BenchmarkRun, ExecutionEngine
 from .formatting import format_table
-from .runner import BenchmarkRun, run_benchmark_on_device
 
 __all__ = ["reproduce_figure2", "figure2_records", "render_figure2"]
 
@@ -30,6 +31,8 @@ def reproduce_figure2(
     trajectories: int | None = 40,
     families: Optional[Sequence[str]] = None,
     seed: int = 1234,
+    backend: Union[Backend, str, None] = None,
+    max_workers: int = 1,
 ) -> List[BenchmarkRun]:
     """Run the Fig. 2 sweep and return one :class:`BenchmarkRun` per (instance, device).
 
@@ -38,33 +41,54 @@ def reproduce_figure2(
         small: Use the reduced instance list (fast) instead of the full paper set.
         shots: Shots per circuit per repetition (paper: 2000 on IBM devices).
         repetitions: Independent repetitions for the error bars.
-        trajectories: Monte-Carlo noise trajectories the shots are spread over
-            (``None`` = one per shot, the slowest but most faithful option).
+        trajectories: Trajectory count the shots are spread over (``None`` =
+            one per shot, the slowest but most faithful option).  Honoured by
+            the trajectory backend and, for circuits with mid-circuit
+            measurement/reset, by the ideal statevector backend; ignored when
+            ``backend`` is an instance or the exact density-matrix backend.
         families: Restrict to these benchmark families (default: all eight).
         seed: Base random seed.
+        backend: Execution backend — an instance or a name (``"statevector"``,
+            ``"trajectory"``, ``"density_matrix"``); default is the noisy
+            trajectory backend, matching previous releases.
+        max_workers: Worker-pool size each device's engine fans batches over.
     """
     device_list = [get_device(name) for name in devices] if devices else all_devices()
     instance_map = figure2_benchmarks(small=small)
     if families is not None:
         instance_map = {family: instance_map[family] for family in families}
 
+    engines = {
+        device.name: ExecutionEngine(
+            device,
+            backend=backend,
+            max_workers=max_workers,
+            trajectories=trajectories,
+        )
+        for device in device_list
+    }
     runs: List[BenchmarkRun] = []
-    for family, instances in instance_map.items():
-        for benchmark in instances:
-            for device in device_list:
-                try:
-                    run = run_benchmark_on_device(
-                        benchmark,
-                        device,
-                        shots=shots,
-                        repetitions=repetitions,
-                        trajectories=trajectories,
-                        seed=seed,
-                    )
-                except DeviceError:
-                    # The black "X" entries of Fig. 2: instance too large for the device.
-                    continue
-                runs.append(run)
+    try:
+        for family, instances in instance_map.items():
+            for benchmark in instances:
+                for device in device_list:
+                    try:
+                        run = engines[device.name].run(
+                            benchmark, shots=shots, repetitions=repetitions, seed=seed
+                        )
+                    except BackendCapacityError as error:
+                        # Fits the device but not the backend (e.g. the
+                        # density-matrix width limit) — skip loudly so a
+                        # sparse sweep is explainable.
+                        warnings.warn(f"skipping {benchmark}: {error}", stacklevel=2)
+                        continue
+                    except DeviceError:
+                        # The black "X" entries of Fig. 2: instance too large for the device.
+                        continue
+                    runs.append(run)
+    finally:
+        for engine in engines.values():
+            engine.close()
     return runs
 
 

@@ -1,78 +1,44 @@
-"""Execution harness: run a benchmark on a (simulated) device and score it.
+"""Legacy execution shims (deprecated) — use :mod:`repro.execution` instead.
 
-This module plays the role the SuperstaQ submission layer plays in the
-paper: every benchmark is specified once, and the runner lowers it to each
-target device (transpilation), executes it (noisy simulation with the
-device's calibration-derived noise model) and applies the benchmark's score
-function.  Each benchmark is executed ``repetitions`` times so the mean and
-standard deviation of the score can be reported, as in Fig. 2.
+This module used to own the whole execution path.  That role moved to
+:class:`repro.execution.ExecutionEngine`, which adds transpile caching,
+pluggable backends and parallel batch execution; the functions below remain
+as thin, seed-compatible wrappers so existing callers and tests keep working.
+
+Deprecation path: ``execute_circuits`` and ``run_benchmark_on_device`` emit
+:class:`DeprecationWarning` and will be removed once every driver uses the
+engine directly.  :class:`BenchmarkRun` now lives in
+:mod:`repro.execution.results` and is re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+import warnings
+from typing import List, Sequence
 
 from ..benchmarks import Benchmark
 from ..devices import Device
-from ..exceptions import DeviceError
-from ..features import typical_features
-from ..simulation import Counts, StatevectorSimulator
-from ..transpiler import transpile
+from ..execution import (
+    BenchmarkRun,
+    ExecutionEngine,
+    StatevectorBackend,
+    TrajectoryBackend,
+)
+from ..simulation import Counts
 
 __all__ = ["BenchmarkRun", "run_benchmark_on_device", "execute_circuits"]
 
 
-@dataclass
-class BenchmarkRun:
-    """Scores and metadata of one benchmark executed on one device.
+def _legacy_backend(noisy: bool, trajectories: int | None):
+    """Map the historical ``noisy``/``trajectories`` knobs onto a backend.
 
-    Attributes:
-        benchmark: Human-readable benchmark label (includes parameters).
-        family: Benchmark family name (``"ghz"``, ``"vqe"``, ...).
-        device: Device name.
-        scores: Score of each repetition.
-        features: The six SupermarQ features of the logical circuit.
-        typical: Qubit count, two-qubit gate count and depth of the logical circuit.
-        compiled_two_qubit_gates: Two-qubit gates after transpilation.
-        compiled_depth: Depth after transpilation.
-        swap_count: SWAPs inserted by the router.
-        shots: Shots per circuit per repetition.
+    ``trajectories`` is forwarded even in the ideal case: circuits with
+    mid-circuit measurement or reset are simulated per-trajectory regardless
+    of noise, and the historical runner honoured the knob there too.
     """
-
-    benchmark: str
-    family: str
-    device: str
-    scores: List[float]
-    features: Dict[str, float]
-    typical: Dict[str, float]
-    compiled_two_qubit_gates: int
-    compiled_depth: int
-    swap_count: int
-    shots: int
-
-    @property
-    def mean_score(self) -> float:
-        return float(np.mean(self.scores))
-
-    @property
-    def std_score(self) -> float:
-        return float(np.std(self.scores))
-
-    def record(self) -> Dict[str, float]:
-        """Flat record (one row) for the correlation analysis of Fig. 3."""
-        row: Dict[str, float] = {
-            "device": self.device,
-            "benchmark": self.benchmark,
-            "family": self.family,
-            "score": self.mean_score,
-            "score_std": self.std_score,
-        }
-        row.update(self.features)
-        row.update(self.typical)
-        return row
+    if noisy:
+        return TrajectoryBackend(trajectories=trajectories)
+    return StatevectorBackend(trajectories=trajectories)
 
 
 def execute_circuits(
@@ -86,23 +52,23 @@ def execute_circuits(
 ) -> List[Counts]:
     """Transpile and execute a list of circuits on a device model.
 
-    Returns one :class:`Counts` object per circuit, in order.
+    .. deprecated:: 1.1
+        Use :meth:`repro.execution.ExecutionEngine.run_circuits` instead.
+
+    Returns one :class:`Counts` object per circuit, in order, with the same
+    per-circuit seeding as previous releases.
     """
-    results: List[Counts] = []
-    for index, circuit in enumerate(circuits):
-        if circuit.num_qubits > device.num_qubits:
-            raise DeviceError(
-                f"{circuit.num_qubits}-qubit circuit does not fit on {device.name}"
-            )
-        transpiled = transpile(circuit, device, optimization_level=optimization_level)
-        compact, physical = transpiled.compact()
-        noise_model = device.noise_model(physical) if noisy else None
-        circuit_seed = None if seed is None else seed + 7919 * index
-        simulator = StatevectorSimulator(
-            noise_model=noise_model, seed=circuit_seed, trajectories=trajectories
-        )
-        results.append(simulator.run(compact, shots=shots))
-    return results
+    warnings.warn(
+        "execute_circuits is deprecated; use repro.execution.ExecutionEngine.run_circuits",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    with ExecutionEngine(
+        device,
+        backend=_legacy_backend(noisy, trajectories),
+        optimization_level=optimization_level,
+    ) as engine:
+        return engine.run_circuits(circuits, shots=shots, seed=seed)
 
 
 def run_benchmark_on_device(
@@ -117,44 +83,21 @@ def run_benchmark_on_device(
 ) -> BenchmarkRun:
     """Run one benchmark instance on one device and collect its scores.
 
+    .. deprecated:: 1.1
+        Use :meth:`repro.execution.ExecutionEngine.run` instead.
+
     Raises:
         DeviceError: when the benchmark needs more qubits than the device has
             (the black "X" entries of Fig. 2).
     """
-    circuits = benchmark.circuits()
-    too_large = max(circuit.num_qubits for circuit in circuits) > device.num_qubits
-    if too_large:
-        raise DeviceError(
-            f"benchmark {benchmark} does not fit on {device.name} "
-            f"({device.num_qubits} qubits)"
-        )
-
-    representative = benchmark.circuit()
-    first_transpiled = transpile(circuits[0], device, optimization_level=optimization_level)
-
-    scores: List[float] = []
-    for repetition in range(repetitions):
-        repetition_seed = None if seed is None else seed + 104729 * repetition
-        counts_list = execute_circuits(
-            circuits,
-            device,
-            shots=shots,
-            noisy=noisy,
-            seed=repetition_seed,
-            trajectories=trajectories,
-            optimization_level=optimization_level,
-        )
-        scores.append(benchmark.score(counts_list))
-
-    return BenchmarkRun(
-        benchmark=str(benchmark),
-        family=benchmark.name,
-        device=device.name,
-        scores=scores,
-        features=benchmark.features().as_dict(),
-        typical=typical_features(representative),
-        compiled_two_qubit_gates=first_transpiled.two_qubit_gate_count(),
-        compiled_depth=first_transpiled.depth(),
-        swap_count=first_transpiled.swap_count,
-        shots=shots,
+    warnings.warn(
+        "run_benchmark_on_device is deprecated; use repro.execution.ExecutionEngine.run",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    with ExecutionEngine(
+        device,
+        backend=_legacy_backend(noisy, trajectories),
+        optimization_level=optimization_level,
+    ) as engine:
+        return engine.run(benchmark, shots=shots, repetitions=repetitions, seed=seed)

@@ -1,0 +1,82 @@
+"""Tests for circuit fingerprinting and the transpile cache."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.devices import get_device
+from repro.execution import TranspileCache, circuit_fingerprint
+
+
+def _ghz(n: int, name: str = "") -> Circuit:
+    circuit = Circuit(n, n, name)
+    circuit.h(0)
+    for q in range(n - 1):
+        circuit.cx(q, q + 1)
+    return circuit.measure_all()
+
+
+class TestFingerprint:
+    def test_equal_circuits_share_fingerprint(self):
+        assert circuit_fingerprint(_ghz(3)) == circuit_fingerprint(_ghz(3))
+
+    def test_name_does_not_affect_fingerprint(self):
+        assert circuit_fingerprint(_ghz(3, "a")) == circuit_fingerprint(_ghz(3, "b"))
+
+    def test_structure_changes_fingerprint(self):
+        assert circuit_fingerprint(_ghz(3)) != circuit_fingerprint(_ghz(4))
+        base = Circuit(2).rx(0.5, 0).measure_all()
+        other = Circuit(2).rx(0.6, 0).measure_all()
+        assert circuit_fingerprint(base) != circuit_fingerprint(other)
+
+    def test_operand_order_changes_fingerprint(self):
+        a = Circuit(2).cx(0, 1).measure_all()
+        b = Circuit(2).cx(1, 0).measure_all()
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+
+class TestTranspileCache:
+    def test_second_lookup_is_a_hit(self):
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        first = cache.get_or_transpile(_ghz(3), device)
+        second = cache.get_or_transpile(_ghz(3), device)
+        assert first is second
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_structurally_equal_objects_hit(self):
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        entry_a = cache.get_or_transpile(_ghz(3, "x"), device)
+        entry_b = cache.get_or_transpile(_ghz(3, "y"), device)
+        assert entry_a is entry_b
+
+    def test_optimization_level_is_part_of_the_key(self):
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        cache.get_or_transpile(_ghz(3), device, optimization_level=0)
+        cache.get_or_transpile(_ghz(3), device, optimization_level=2)
+        assert cache.stats()["misses"] == 2
+        assert len(cache) == 2
+
+    def test_different_devices_do_not_collide(self):
+        cache = TranspileCache()
+        cache.get_or_transpile(_ghz(3), get_device("IBM-Casablanca-7Q"))
+        cache.get_or_transpile(_ghz(3), get_device("IonQ-11Q"))
+        assert cache.stats() == {"hits": 0, "misses": 2, "entries": 2}
+
+    def test_entry_contents(self):
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        entry = cache.get_or_transpile(_ghz(3), device)
+        assert entry.compact.num_qubits == len(entry.physical)
+        assert entry.transpiled.device is device
+        # The noise model is built lazily and memoised.
+        model = entry.noise_model()
+        assert entry.noise_model() is model
+
+    def test_clear_resets_counters(self):
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        cache.get_or_transpile(_ghz(3), device)
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
