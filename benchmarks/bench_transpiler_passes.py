@@ -1,0 +1,90 @@
+"""Transpiler pass pipeline: per-pass timing over the benchmark suite.
+
+Runs the preset pipelines on the small Fig. 2 suite circuits, benchmarks the
+full level-2 compilation, and prints a per-pass timing/gate-delta breakdown
+aggregated across the suite — the per-pass view the monolithic pipeline
+could never produce.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.benchmarks import figure2_benchmarks
+from repro.devices import get_device
+from repro.transpiler import preset_pipeline, transpile
+
+DEVICE = "IBM-Guadalupe-16Q"
+
+
+def _suite_circuits():
+    circuits = []
+    for instances in figure2_benchmarks(small=True).values():
+        for bench in instances:
+            circuits.extend(bench.circuits())
+    device = get_device(DEVICE)
+    return [c for c in circuits if c.num_qubits <= device.num_qubits]
+
+
+@pytest.mark.parametrize("level", [0, 1, 2, 3])
+def test_preset_pipeline_timing(benchmark, level, capsys):
+    """Compile the whole suite at one preset level; report per-pass totals."""
+    device = get_device(DEVICE)
+    circuits = _suite_circuits()
+    assert circuits
+
+    def compile_suite():
+        return [transpile(c, device, optimization_level=level) for c in circuits]
+
+    results = benchmark(compile_suite)
+
+    seconds = defaultdict(float)
+    removed = defaultdict(int)
+    order = []
+    for result in results:
+        for record in result.pass_records:
+            if record.name not in seconds:
+                order.append(record.name)
+            seconds[record.name] += record.seconds
+            removed[record.name] += record.gate_delta
+    assert order, "preset pipelines must record per-pass metrics"
+    for result in results:
+        assert result.metrics["depth"] == result.depth()
+
+    with capsys.disabled():
+        print(f"\n=== level {level} per-pass totals over {len(circuits)} circuits ===")
+        for name in order:
+            print(f"{name:<36s} {seconds[name] * 1e3:9.3f} ms  delta {removed[name]:+d} gates")
+
+
+def test_pipeline_construction_is_cheap(benchmark):
+    """Preset construction + fingerprint (paid on every cache lookup)."""
+    device = get_device(DEVICE)
+
+    def build():
+        return preset_pipeline(device, optimization_level=2).fingerprint
+
+    fingerprint = benchmark(build)
+    assert fingerprint == preset_pipeline(device, optimization_level=2).fingerprint
+
+
+def test_warm_cache_lookup_dominated_by_fingerprints(benchmark):
+    """A warm pipeline-keyed cache lookup must stay far below a compile."""
+    from repro.execution import TranspileCache
+
+    device = get_device(DEVICE)
+    cache = TranspileCache()
+    circuits = _suite_circuits()
+    for circuit in circuits:
+        cache.get_or_transpile(circuit, device, optimization_level=2)
+
+    def warm_lookups():
+        for circuit in circuits:
+            cache.get_or_transpile(circuit, device, optimization_level=2)
+
+    benchmark(warm_lookups)
+    stats = cache.stats()
+    assert stats["entries"] <= len(circuits)  # structural duplicates dedup
+    assert stats["hits"] >= len(circuits)

@@ -72,7 +72,7 @@ from .execution import (
 )
 from .features import compute_features, feature_vector
 from .simulation import NoiseModel, StatevectorSimulator
-from .transpiler import transpile
+from .transpiler import PassManager, preset_pipeline, transpile
 
 __version__ = "1.1.0"
 
@@ -84,6 +84,8 @@ __all__ = [
     "NoiseModel",
     "StatevectorSimulator",
     "transpile",
+    "PassManager",
+    "preset_pipeline",
     "compute_features",
     "feature_vector",
     "Backend",

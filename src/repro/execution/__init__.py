@@ -7,7 +7,9 @@ and *how it runs* (which simulator, how many workers, how noise is treated):
   :class:`TrajectoryBackend` (noisy Monte-Carlo) and
   :class:`DensityMatrixBackend` (exact noisy) implement it.
 * :class:`TranspileCache` — memoised compilation keyed on
-  ``(circuit fingerprint, device, optimization_level)``.
+  ``(circuit fingerprint, device, pipeline fingerprint)``, so every knob
+  that changes compilation (optimization level, placement strategy, custom
+  device presets) separates cache entries.
 * :class:`ExecutionEngine` — owns a cache and a worker pool; ``submit()``
   returns async :class:`Job` handles, ``run()``/``run_suite()`` produce
   :class:`BenchmarkRun` results for the experiment drivers.
@@ -20,6 +22,7 @@ from .backends import (
     DensityMatrixBackend,
     StatevectorBackend,
     TrajectoryBackend,
+    backend_metadata,
     resolve_backend,
 )
 from .cache import CacheEntry, TranspileCache, circuit_fingerprint
@@ -33,6 +36,7 @@ __all__ = [
     "TrajectoryBackend",
     "DensityMatrixBackend",
     "resolve_backend",
+    "backend_metadata",
     "CacheEntry",
     "TranspileCache",
     "circuit_fingerprint",

@@ -17,7 +17,7 @@ serial run.
 
 from __future__ import annotations
 
-from typing import List, Optional, Protocol, Sequence, Union, runtime_checkable
+from typing import Dict, List, Optional, Protocol, Sequence, Union, runtime_checkable
 
 from ..circuits import Circuit
 from ..exceptions import SimulationError
@@ -30,6 +30,7 @@ __all__ = [
     "TrajectoryBackend",
     "DensityMatrixBackend",
     "resolve_backend",
+    "backend_metadata",
     "SEED_STRIDE",
 ]
 
@@ -61,6 +62,12 @@ class Backend(Protocol):
         name: Short machine-readable backend name (``"statevector"``, ...).
         noisy: Whether the backend consumes noise models.  The engine skips
             building noise models for backends that would discard them.
+
+    Backends may additionally expose a ``metadata()`` method returning a
+    flat dict describing their configuration; the engine attaches it to every
+    :class:`~repro.execution.job.Job` it creates (see
+    :func:`backend_metadata`, which supplies a fallback for backends
+    without one).
     """
 
     name: str
@@ -113,6 +120,10 @@ class StatevectorBackend:
             results.append(simulator.run(circuit, shots=shots))
         return results
 
+    def metadata(self) -> Dict[str, object]:
+        """Flat configuration record attached to jobs by the engine."""
+        return {"name": self.name, "noisy": self.noisy, "trajectories": self.trajectories}
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"StatevectorBackend(trajectories={self.trajectories})"
 
@@ -149,6 +160,10 @@ class TrajectoryBackend:
             )
             results.append(simulator.run(circuit, shots=shots))
         return results
+
+    def metadata(self) -> Dict[str, object]:
+        """Flat configuration record attached to jobs by the engine."""
+        return {"name": self.name, "noisy": self.noisy, "trajectories": self.trajectories}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TrajectoryBackend(trajectories={self.trajectories})"
@@ -191,8 +206,25 @@ class DensityMatrixBackend:
             results.append(simulator.run(circuit, shots=shots))
         return results
 
+    def metadata(self) -> Dict[str, object]:
+        """Flat configuration record attached to jobs by the engine."""
+        return {"name": self.name, "noisy": self.noisy, "max_qubits": self.max_qubits}
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DensityMatrixBackend(max_qubits={self.max_qubits})"
+
+
+def backend_metadata(backend: "Backend") -> Dict[str, object]:
+    """Configuration record of a backend, tolerating ones without ``metadata()``.
+
+    Backends predating the metadata API (or third-party implementations of
+    the bare protocol) fall back to the universally available
+    ``name``/``noisy`` attributes.
+    """
+    method = getattr(backend, "metadata", None)
+    if callable(method):
+        return dict(method())
+    return {"name": backend.name, "noisy": backend.noisy}
 
 
 #: Accepted spellings for each backend name.

@@ -1,14 +1,23 @@
-"""Transpile caching: fingerprint circuits, compile each one at most once.
+"""Transpile caching: fingerprint circuits and pipelines, compile once.
 
 The experiment drivers execute the same logical circuits over and over —
 ``repetitions`` times per benchmark, and once more for the compiled-circuit
 metadata of :class:`~repro.execution.results.BenchmarkRun`.  Transpilation is
-deterministic for a fixed ``(circuit, device, optimization_level)`` triple, so
-the :class:`TranspileCache` memoises the full pipeline output (including the
-compacted simulation circuit) behind a structural circuit fingerprint.
+deterministic for a fixed circuit, device and pipeline, so the
+:class:`TranspileCache` memoises the full pipeline output (including the
+compacted simulation circuit) behind a structural circuit fingerprint paired
+with the pipeline's own fingerprint
+(:attr:`~repro.transpiler.passmanager.PassManager.fingerprint`).
+
+Keying on the pipeline fingerprint — rather than on the loose
+``optimization_level`` integer the cache historically used — means every
+knob that changes compilation (placement strategy, explicit initial layout,
+custom device presets, new passes) automatically separates cache entries;
+two calls that compile differently can never return the same cached circuit.
 
 The cache is thread-safe: the :class:`~repro.execution.engine.ExecutionEngine`
-shares one instance across its worker pool.
+shares one instance across its worker pool and fans cold compilations out
+over it.
 """
 
 from __future__ import annotations
@@ -21,7 +30,8 @@ from typing import Dict, Optional, Tuple
 from ..circuits import Circuit
 from ..devices import Device
 from ..simulation.noise_model import NoiseModel
-from ..transpiler import TranspiledCircuit, transpile
+from ..transpiler import TranspiledCircuit, preset_pipeline, transpile
+from ..transpiler.placement import Placement
 
 __all__ = ["circuit_fingerprint", "CacheEntry", "TranspileCache"]
 
@@ -54,6 +64,7 @@ class CacheEntry:
         physical: Physical qubits backing each compact qubit, in order.
         two_qubit_gates: Two-qubit gate count of the compiled circuit.
         depth: Depth of the compiled circuit.
+        pipeline: Fingerprint of the pipeline that produced the compilation.
     """
 
     transpiled: TranspiledCircuit
@@ -61,6 +72,7 @@ class CacheEntry:
     physical: Tuple[int, ...]
     two_qubit_gates: int
     depth: int
+    pipeline: str = ""
     _noise_model: Optional[NoiseModel] = field(default=None, repr=False)
     _noise_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -73,7 +85,7 @@ class CacheEntry:
 
 
 class TranspileCache:
-    """Memoises ``transpile()`` keyed on ``(fingerprint, device, optimization_level)``.
+    """Memoises ``transpile()`` keyed on ``(circuit, device, pipeline)`` fingerprints.
 
     Attributes:
         hits: Number of lookups answered from the cache.
@@ -81,7 +93,7 @@ class TranspileCache:
     """
 
     def __init__(self) -> None:
-        self._entries: Dict[Tuple[str, str, int], CacheEntry] = {}
+        self._entries: Dict[Tuple[str, str, str], CacheEntry] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -90,10 +102,27 @@ class TranspileCache:
         return len(self._entries)
 
     def get_or_transpile(
-        self, circuit: Circuit, device: Device, optimization_level: int = 1
+        self,
+        circuit: Circuit,
+        device: Device,
+        optimization_level: int = 1,
+        placement: str = "noise_aware",
+        initial_layout: Optional[Placement] = None,
     ) -> CacheEntry:
-        """Return the cached compilation of ``circuit`` for ``device``, compiling on miss."""
-        key = (circuit_fingerprint(circuit), device.name, int(optimization_level))
+        """Return the cached compilation of ``circuit`` for ``device``, compiling on miss.
+
+        The preset pipeline for ``(device, optimization_level, placement,
+        initial_layout)`` is resolved first and its fingerprint — not the raw
+        arguments — forms the cache key, so e.g. two placement strategies (or
+        a re-registered device preset) always occupy distinct entries.
+        """
+        pipeline = preset_pipeline(
+            device,
+            optimization_level=optimization_level,
+            placement=placement,
+            initial_layout=initial_layout,
+        )
+        key = (circuit_fingerprint(circuit), device.name, pipeline.fingerprint)
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -105,7 +134,10 @@ class TranspileCache:
         # output is deterministic and setdefault keeps the first inserted
         # entry, though each racer counts a miss, so misses may slightly
         # exceed unique compilations under concurrency.
-        transpiled = transpile(circuit, device, optimization_level=optimization_level)
+        # Run the exact pipeline instance the key was fingerprinted from, so
+        # a concurrently re-registered device preset can never produce a
+        # compilation stored under another pipeline's fingerprint.
+        transpiled = transpile(circuit, device, pass_manager=pipeline)
         compact, physical = transpiled.compact()
         entry = CacheEntry(
             transpiled=transpiled,
@@ -113,6 +145,7 @@ class TranspileCache:
             physical=tuple(physical),
             two_qubit_gates=transpiled.two_qubit_gate_count(),
             depth=transpiled.depth(),
+            pipeline=pipeline.fingerprint,
         )
         with self._lock:
             return self._entries.setdefault(key, entry)

@@ -23,8 +23,8 @@ from ..devices import Device
 from ..exceptions import BackendCapacityError, DeviceError
 from ..features import typical_features
 from ..simulation import Counts
-from .backends import Backend, circuit_seed, resolve_backend
-from .cache import CacheEntry, TranspileCache
+from .backends import Backend, backend_metadata, circuit_seed, resolve_backend
+from .cache import CacheEntry, TranspileCache, circuit_fingerprint
 from .job import Job
 from .results import BenchmarkRun
 
@@ -43,8 +43,12 @@ class ExecutionEngine:
         backend: A :class:`Backend` instance or name (``"statevector"``,
             ``"trajectory"``, ``"density_matrix"``); default is the noisy
             trajectory backend.
-        max_workers: Size of the worker pool batches are fanned out over.
+        max_workers: Size of the worker pool batches (and cold compilations)
+            are fanned out over.
         optimization_level: Transpiler optimization level for every circuit.
+        placement: Default placement strategy (``"noise_aware"`` or
+            ``"trivial"``); overridable per call on :meth:`run`,
+            :meth:`run_suite`, :meth:`submit` and :meth:`prepare`.
         cache: Optional shared :class:`TranspileCache`; a private cache is
             created when omitted.
         trajectories: Trajectory count for backends constructed here from a
@@ -60,6 +64,7 @@ class ExecutionEngine:
         backend: Union[Backend, str, None] = None,
         max_workers: int = 1,
         optimization_level: int = 1,
+        placement: str = "noise_aware",
         cache: Optional[TranspileCache] = None,
         trajectories: Optional[int] = None,
     ) -> None:
@@ -69,6 +74,7 @@ class ExecutionEngine:
         self.backend = resolve_backend(backend, trajectories=trajectories)
         self.max_workers = int(max_workers)
         self.optimization_level = int(optimization_level)
+        self.placement = placement
         self.cache = cache if cache is not None else TranspileCache()
         self._executor: Optional[ThreadPoolExecutor] = None
 
@@ -112,22 +118,68 @@ class ExecutionEngine:
                 f"device has {self.device.num_qubits}"
             )
 
-    def prepare(self, circuits: Sequence[Circuit]) -> List[CacheEntry]:
-        """Fit-check and transpile every circuit (served from the cache when warm)."""
-        entries: List[CacheEntry] = []
-        backend_limit = getattr(self.backend, "max_qubits", None)
+    def prepare(
+        self, circuits: Sequence[Circuit], placement: Optional[str] = None
+    ) -> List[CacheEntry]:
+        """Fit-check and transpile every circuit (served from the cache when warm).
+
+        With ``max_workers > 1``, cold compilations of *distinct* circuits
+        are fanned out across the worker pool (distinctness judged by the
+        cache's structural fingerprint, so a batch of repeated circuits is
+        still compiled once).
+
+        Args:
+            placement: Placement strategy for this batch; defaults to the
+                engine's :attr:`placement`.
+        """
+        strategy = self.placement if placement is None else placement
         for circuit in circuits:
             self.check_fits(circuit)
-            entry = self.cache.get_or_transpile(circuit, self.device, self.optimization_level)
-            if backend_limit is not None and entry.compact.num_qubits > backend_limit:
-                label = f" {circuit.name!r}" if circuit.name else ""
-                raise BackendCapacityError(
-                    f"circuit{label} compiles to {entry.compact.num_qubits} qubits, "
-                    f"exceeding the {self.backend.name} backend limit of "
-                    f"{backend_limit} qubits on {self.device.name}"
+        if self.max_workers > 1 and len(circuits) > 1:
+            entries = self._prepare_parallel(circuits, strategy)
+        else:
+            entries = [
+                self.cache.get_or_transpile(
+                    circuit, self.device, self.optimization_level, strategy
                 )
-            entries.append(entry)
+                for circuit in circuits
+            ]
+        backend_limit = getattr(self.backend, "max_qubits", None)
+        if backend_limit is not None:
+            for circuit, entry in zip(circuits, entries):
+                if entry.compact.num_qubits > backend_limit:
+                    label = f" {circuit.name!r}" if circuit.name else ""
+                    raise BackendCapacityError(
+                        f"circuit{label} compiles to {entry.compact.num_qubits} qubits, "
+                        f"exceeding the {self.backend.name} backend limit of "
+                        f"{backend_limit} qubits on {self.device.name}"
+                    )
         return entries
+
+    def _prepare_parallel(
+        self, circuits: Sequence[Circuit], placement: str
+    ) -> List[CacheEntry]:
+        """Compile distinct circuits concurrently on the worker pool.
+
+        Deduplicates by structural fingerprint first so the pool never races
+        two compilations of the same circuit (which would double-count cache
+        misses); results come back in submission order.
+        """
+        pool = self._pool()
+        futures: Dict[str, "Future[CacheEntry]"] = {}
+        order: List[str] = []
+        for circuit in circuits:
+            fingerprint = circuit_fingerprint(circuit)
+            order.append(fingerprint)
+            if fingerprint not in futures:
+                futures[fingerprint] = pool.submit(
+                    self.cache.get_or_transpile,
+                    circuit,
+                    self.device,
+                    self.optimization_level,
+                    placement,
+                )
+        return [futures[fingerprint].result() for fingerprint in order]
 
     # ------------------------------------------------------------------
     # execution
@@ -137,13 +189,16 @@ class ExecutionEngine:
         circuits: Sequence[Circuit],
         shots: int = 1000,
         seed: Optional[int] = None,
+        placement: Optional[str] = None,
     ) -> Job:
         """Compile (or fetch from cache) and asynchronously execute a batch.
 
         Returns a :class:`Job` whose ``result()`` yields one
         :class:`~repro.simulation.result.Counts` per circuit, in order.
         """
-        return self._submit_prepared(circuits, self.prepare(circuits), shots, seed)
+        return self._submit_prepared(
+            circuits, self.prepare(circuits, placement=placement), shots, seed
+        )
 
     def _submit_prepared(
         self,
@@ -173,10 +228,20 @@ class ExecutionEngine:
                     "swap_count": entry.transpiled.swap_count,
                     "compiled_two_qubit_gates": entry.two_qubit_gates,
                     "compiled_depth": entry.depth,
+                    "compiled_critical_two_qubit_gates": entry.transpiled.metrics.get(
+                        "critical_two_qubit_gates"
+                    ),
+                    "pipeline": entry.pipeline,
                     "seed": seed_here,
                 }
             )
-        return Job(futures, metadata, shots=shots, backend_name=self.backend.name)
+        return Job(
+            futures,
+            metadata,
+            shots=shots,
+            backend_name=self.backend.name,
+            backend_metadata=backend_metadata(self.backend),
+        )
 
     def _run_one(self, compact: Circuit, shots: int, noise, seed: Optional[int]) -> Counts:
         return self.backend.run_batch([compact], shots, noise_model=[noise], seed=seed)[0]
@@ -186,9 +251,10 @@ class ExecutionEngine:
         circuits: Sequence[Circuit],
         shots: int = 1000,
         seed: Optional[int] = None,
+        placement: Optional[str] = None,
     ) -> List[Counts]:
         """Synchronous convenience wrapper around :meth:`submit`."""
-        return self.submit(circuits, shots=shots, seed=seed).result()
+        return self.submit(circuits, shots=shots, seed=seed, placement=placement).result()
 
     # ------------------------------------------------------------------
     # benchmark-level API
@@ -199,17 +265,23 @@ class ExecutionEngine:
         shots: int = 1000,
         repetitions: int = 3,
         seed: Optional[int] = 1234,
+        placement: Optional[str] = None,
     ) -> BenchmarkRun:
         """Run one benchmark ``repetitions`` times and collect its scores.
 
         All repetitions are submitted before any is awaited, so with
         ``max_workers > 1`` they execute concurrently.
 
+        Args:
+            placement: Placement strategy for this benchmark; defaults to
+                the engine's :attr:`placement`.
+
         Raises:
             DeviceError: when the benchmark needs more qubits than the device has.
         """
+        strategy = self.placement if placement is None else placement
         circuits = benchmark.circuits()
-        entries = self.prepare(circuits)
+        entries = self.prepare(circuits, placement=strategy)
 
         jobs: List[Job] = []
         for repetition in range(repetitions):
@@ -230,6 +302,8 @@ class ExecutionEngine:
             swap_count=first.transpiled.swap_count,
             shots=shots,
             backend=self.backend.name,
+            placement=strategy,
+            pipeline=first.pipeline,
         )
 
     def run_suite(
@@ -239,6 +313,7 @@ class ExecutionEngine:
         repetitions: int = 3,
         seed: Optional[int] = 1234,
         skip_oversized: bool = True,
+        placement: Optional[str] = None,
     ) -> List[BenchmarkRun]:
         """Run a collection of benchmarks on this engine's device.
 
@@ -246,12 +321,20 @@ class ExecutionEngine:
             skip_oversized: When True (default), benchmarks that do not fit on
                 the device are skipped instead of raising — the black "X"
                 entries of Fig. 2.
+            placement: Placement strategy for the whole suite; defaults to
+                the engine's :attr:`placement`.
         """
         runs: List[BenchmarkRun] = []
         for benchmark in benchmarks:
             try:
                 runs.append(
-                    self.run(benchmark, shots=shots, repetitions=repetitions, seed=seed)
+                    self.run(
+                        benchmark,
+                        shots=shots,
+                        repetitions=repetitions,
+                        seed=seed,
+                        placement=placement,
+                    )
                 )
             except DeviceError:
                 if not skip_oversized:

@@ -31,7 +31,10 @@ class Job:
     Attributes:
         shots: Shots per circuit.
         backend_name: Name of the backend executing the batch.
-        metadata: One dict per circuit (compile stats, physical qubits, seed).
+        backend_metadata: Flat configuration record of the backend
+            (trajectory count, qubit limits, ...); empty when unknown.
+        metadata: One dict per circuit (compile stats, physical qubits,
+            pipeline fingerprint, seed).
     """
 
     def __init__(
@@ -40,11 +43,13 @@ class Job:
         metadata: Sequence[Dict[str, object]],
         shots: int,
         backend_name: str,
+        backend_metadata: Optional[Dict[str, object]] = None,
     ) -> None:
         self._futures = list(futures)
         self.metadata = list(metadata)
         self.shots = shots
         self.backend_name = backend_name
+        self.backend_metadata = dict(backend_metadata or {})
 
     def __len__(self) -> int:
         return len(self._futures)

@@ -32,6 +32,9 @@ class BenchmarkRun:
         swap_count: SWAPs inserted by the router.
         shots: Shots per circuit per repetition.
         backend: Name of the execution backend that produced the scores.
+        placement: Placement strategy the circuits were compiled with.
+        pipeline: Fingerprint of the transpiler pipeline that compiled the
+            circuits (empty for runs predating pipeline-aware caching).
     """
 
     benchmark: str
@@ -45,6 +48,8 @@ class BenchmarkRun:
     swap_count: int
     shots: int
     backend: str = "trajectory"
+    placement: str = "noise_aware"
+    pipeline: str = ""
 
     @property
     def mean_score(self) -> float:

@@ -33,6 +33,8 @@ def reproduce_figure2(
     seed: int = 1234,
     backend: Union[Backend, str, None] = None,
     max_workers: int = 1,
+    optimization_level: int = 1,
+    placement: str = "noise_aware",
 ) -> List[BenchmarkRun]:
     """Run the Fig. 2 sweep and return one :class:`BenchmarkRun` per (instance, device).
 
@@ -52,6 +54,10 @@ def reproduce_figure2(
             ``"trajectory"``, ``"density_matrix"``); default is the noisy
             trajectory backend, matching previous releases.
         max_workers: Worker-pool size each device's engine fans batches over.
+        optimization_level: Transpiler preset level for every circuit.
+        placement: Placement strategy (``"noise_aware"`` or ``"trivial"``)
+            used by every engine — makes the noise-aware-vs-trivial mapping
+            ablation selectable end-to-end.
     """
     device_list = [get_device(name) for name in devices] if devices else all_devices()
     instance_map = figure2_benchmarks(small=small)
@@ -63,6 +69,8 @@ def reproduce_figure2(
             device,
             backend=backend,
             max_workers=max_workers,
+            optimization_level=optimization_level,
+            placement=placement,
             trajectories=trajectories,
         )
         for device in device_list

@@ -49,6 +49,7 @@ def execute_circuits(
     seed: int | None = None,
     trajectories: int | None = None,
     optimization_level: int = 1,
+    placement: str = "noise_aware",
 ) -> List[Counts]:
     """Transpile and execute a list of circuits on a device model.
 
@@ -67,6 +68,7 @@ def execute_circuits(
         device,
         backend=_legacy_backend(noisy, trajectories),
         optimization_level=optimization_level,
+        placement=placement,
     ) as engine:
         return engine.run_circuits(circuits, shots=shots, seed=seed)
 
@@ -80,6 +82,7 @@ def run_benchmark_on_device(
     seed: int | None = 1234,
     trajectories: int | None = None,
     optimization_level: int = 1,
+    placement: str = "noise_aware",
 ) -> BenchmarkRun:
     """Run one benchmark instance on one device and collect its scores.
 
@@ -99,5 +102,6 @@ def run_benchmark_on_device(
         device,
         backend=_legacy_backend(noisy, trajectories),
         optimization_level=optimization_level,
+        placement=placement,
     ) as engine:
         return engine.run(benchmark, shots=shots, repetitions=repetitions, seed=seed)

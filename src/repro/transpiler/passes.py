@@ -1,0 +1,385 @@
+"""Transpiler passes: the composable units of the compilation pipeline.
+
+A pass is a small object with a :meth:`BasePass.run` method taking the
+current circuit and a shared :class:`PropertySet`.  Two kinds exist:
+
+* **Analysis passes** (:class:`AnalysisPass`) inspect the circuit and write
+  results into the property set (layouts, metrics) without changing it.
+* **Transformation passes** (:class:`TransformationPass`) return a rewritten
+  circuit (decomposition, optimization, routing, basis translation).
+
+The six historical pipeline stages are expressed here as individual passes,
+alongside two passes the monolithic pipeline never had:
+:class:`CommutingTwoQubitCancellation` (cancel ``cx``/``cz`` pairs separated
+only by gates that commute through them) and :class:`DepthAnalysis` (depth /
+critical-path metrics fed into
+:class:`~repro.transpiler.transpile.TranspiledCircuit`).
+
+Pipelines are assembled by :class:`~repro.transpiler.passmanager.PassManager`
+(usually via :func:`~repro.transpiler.presets.preset_pipeline`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits import Circuit, Instruction
+from ..devices import Device
+from ..exceptions import TranspilerError
+from .decomposition import basis_for_gates, decompose_to_canonical, translate_to_basis
+from .optimization import (
+    cancel_adjacent_inverses,
+    drop_negligible,
+    fuse_single_qubit_runs,
+    merge_rotations,
+)
+from .placement import Placement, noise_aware_placement, trivial_placement
+from .routing import route_circuit
+
+__all__ = [
+    "PropertySet",
+    "BasePass",
+    "AnalysisPass",
+    "TransformationPass",
+    "DecomposeToCanonical",
+    "DropNegligible",
+    "MergeRotations",
+    "CancelAdjacentInverses",
+    "FuseSingleQubitRuns",
+    "CommutingTwoQubitCancellation",
+    "SetLayout",
+    "TrivialLayout",
+    "NoiseAwareLayout",
+    "RoutingPass",
+    "BasisTranslation",
+    "DepthAnalysis",
+]
+
+
+class PropertySet(dict):
+    """Shared state threaded through a pipeline run.
+
+    A plain dict with a stable identity: analysis passes write entries
+    (``"layout"``, ``"initial_layout"``, ``"final_layout"``, ``"swap_count"``,
+    ``"metrics"``), transformation passes may read them, and the pass manager
+    records its per-pass timing under ``"pass_records"``.
+    """
+
+
+class BasePass:
+    """Base class every pass derives from.
+
+    Attributes:
+        is_analysis: True for analysis passes (must not modify the circuit).
+    """
+
+    is_analysis = False
+
+    @property
+    def name(self) -> str:
+        """Stable machine-readable pass name (snake_case class name)."""
+        out = []
+        for char in type(self).__name__:
+            if char.isupper() and out:
+                out.append("_")
+            out.append(char.lower())
+        return "".join(out)
+
+    def signature(self) -> Tuple:
+        """Hashable configuration tuple; part of the pipeline fingerprint.
+
+        Two pass instances with equal ``(name, signature())`` must behave
+        identically on every circuit — the transpile cache relies on it.
+        """
+        return ()
+
+    def fingerprint_token(self) -> str:
+        """Stable string identifying this pass inside a pipeline fingerprint."""
+        return f"{self.name}{self.signature()!r}"
+
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        """Execute the pass; return the (possibly rewritten) circuit."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}{self.signature()!r}"
+
+
+class AnalysisPass(BasePass):
+    """A pass that inspects the circuit and writes to the property set."""
+
+    is_analysis = True
+
+
+class TransformationPass(BasePass):
+    """A pass that returns a rewritten circuit."""
+
+
+# ---------------------------------------------------------------------------
+# stage 1: canonical decomposition
+# ---------------------------------------------------------------------------
+
+
+class DecomposeToCanonical(TransformationPass):
+    """Rewrite every gate into the canonical ``{u, cx}`` set."""
+
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        return decompose_to_canonical(circuit)
+
+
+# ---------------------------------------------------------------------------
+# stage 2 / 6: optimization passes
+# ---------------------------------------------------------------------------
+
+
+class DropNegligible(TransformationPass):
+    """Remove identity gates and numerically-zero rotations."""
+
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        return drop_negligible(circuit)
+
+
+class MergeRotations(TransformationPass):
+    """Combine adjacent same-axis rotations on the same qubits."""
+
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        return merge_rotations(circuit)
+
+
+class CancelAdjacentInverses(TransformationPass):
+    """Remove back-to-back mutually-inverse gate pairs (to a fixed point)."""
+
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        return cancel_adjacent_inverses(circuit)
+
+
+class FuseSingleQubitRuns(TransformationPass):
+    """Collapse maximal single-qubit runs into one ``u`` gate."""
+
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        return fuse_single_qubit_runs(circuit)
+
+
+#: Single-qubit gates diagonal in Z — they commute with a CX control and
+#: with both operands of a CZ.
+_DIAGONAL_1Q = frozenset({"rz", "z", "s", "sdg", "t", "tdg", "p"})
+#: Single-qubit X-axis gates — they commute with a CX target.
+_X_AXIS_1Q = frozenset({"rx", "x", "sx", "sxdg"})
+
+
+class CommutingTwoQubitCancellation(TransformationPass):
+    """Cancel ``cx``/``cz`` pairs separated only by commuting gates.
+
+    :func:`~repro.transpiler.optimization.cancel_adjacent_inverses` only
+    removes *strictly* adjacent pairs.  This pass additionally cancels two
+    equal two-qubit gates when every intervening operation on their qubits
+    commutes through them gate-by-gate:
+
+    * on a CX control / either CZ operand: Z-diagonal gates
+      (``rz z s sdg t tdg p``),
+    * on a CX target: X-axis gates (``rx x sx sxdg``).
+
+    Any other operation touching either qubit (including barriers, measures
+    and other multi-qubit gates) blocks the cancellation.  Iterated to a
+    fixed point.  Not part of preset levels 0–2 (which reproduce the
+    historical pipeline exactly); level 3 enables it.
+    """
+
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        instructions = list(circuit)
+        changed = True
+        while changed:
+            instructions, changed = self._sweep(instructions)
+        out = Circuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+        for instruction in instructions:
+            out.append(instruction)
+        return out
+
+    @staticmethod
+    def _pair_key(instruction: Instruction) -> Tuple[str, Tuple[int, ...]]:
+        # CZ is symmetric: cz(a, b) cancels cz(b, a).
+        if instruction.name == "cz":
+            return ("cz", tuple(sorted(instruction.qubits)))
+        return (instruction.name, instruction.qubits)
+
+    def _sweep(self, instructions: List[Instruction]) -> Tuple[List[Instruction], bool]:
+        result: List[Optional[Instruction]] = []
+        # Open cancellation candidates: pair key -> index in `result`.
+        open_pairs: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+        changed = False
+
+        def invalidate(qubits: Tuple[int, ...]) -> None:
+            for key in list(open_pairs):
+                if not qubits or any(q in key[1] for q in qubits):
+                    del open_pairs[key]
+
+        for instruction in instructions:
+            if instruction.is_barrier():
+                # A qubit-less barrier spans the whole circuit.
+                invalidate(instruction.qubits)
+                result.append(instruction)
+                continue
+            if instruction.name in ("cx", "cz") and not instruction.params:
+                key = self._pair_key(instruction)
+                index = open_pairs.get(key)
+                if index is not None:
+                    result[index] = None
+                    del open_pairs[key]
+                    changed = True
+                    continue
+                invalidate(instruction.qubits)
+                open_pairs[key] = len(result)
+                result.append(instruction)
+                continue
+            if instruction.is_unitary() and len(instruction.qubits) == 1:
+                qubit = instruction.qubits[0]
+                for key in list(open_pairs):
+                    gate_name, pair = key
+                    if qubit not in pair:
+                        continue
+                    if gate_name == "cz":
+                        commutes = instruction.name in _DIAGONAL_1Q
+                    elif qubit == pair[0]:  # cx control
+                        commutes = instruction.name in _DIAGONAL_1Q
+                    else:  # cx target
+                        commutes = instruction.name in _X_AXIS_1Q
+                    if not commutes:
+                        del open_pairs[key]
+                result.append(instruction)
+                continue
+            # Measures, resets and other multi-qubit gates block their qubits.
+            invalidate(instruction.qubits)
+            result.append(instruction)
+
+        return [i for i in result if i is not None], changed
+
+
+# ---------------------------------------------------------------------------
+# stage 3: placement (layout selection)
+# ---------------------------------------------------------------------------
+
+
+class SetLayout(AnalysisPass):
+    """Record a user-supplied logical -> physical layout in the property set."""
+
+    def __init__(self, layout: Placement) -> None:
+        self.layout = dict(layout)
+
+    def signature(self) -> Tuple:
+        return tuple(sorted(self.layout.items()))
+
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        property_set["layout"] = dict(self.layout)
+        return circuit
+
+
+class TrivialLayout(AnalysisPass):
+    """Identity placement: logical qubit ``i`` -> physical qubit ``i``."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+
+    def signature(self) -> Tuple:
+        return (self.device.name,)
+
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        property_set["layout"] = trivial_placement(circuit, self.device)
+        return circuit
+
+
+class NoiseAwareLayout(AnalysisPass):
+    """Connectivity-aware greedy placement (the historical default)."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+
+    def signature(self) -> Tuple:
+        return (self.device.name,)
+
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        property_set["layout"] = noise_aware_placement(circuit, self.device)
+        return circuit
+
+
+# ---------------------------------------------------------------------------
+# stage 4: routing
+# ---------------------------------------------------------------------------
+
+
+class RoutingPass(TransformationPass):
+    """Insert SWAPs so every two-qubit gate acts on coupled physical qubits.
+
+    Reads ``property_set["layout"]`` (written by a layout pass) and records
+    ``initial_layout``, ``final_layout`` and ``swap_count``.
+    """
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+
+    def signature(self) -> Tuple:
+        return (self.device.name,)
+
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        layout = property_set.get("layout")
+        if layout is None:
+            raise TranspilerError(
+                "routing requires a layout; add a layout pass "
+                "(TrivialLayout / NoiseAwareLayout / SetLayout) before RoutingPass"
+            )
+        routed = route_circuit(circuit, self.device, layout)
+        property_set["initial_layout"] = routed.initial_layout
+        property_set["final_layout"] = routed.final_layout
+        property_set["swap_count"] = routed.swap_count
+        return routed.circuit
+
+
+# ---------------------------------------------------------------------------
+# stage 5: native basis translation
+# ---------------------------------------------------------------------------
+
+
+class BasisTranslation(TransformationPass):
+    """Translate the circuit to a device's native basis."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        self.basis = basis_for_gates(device.basis_gates)
+
+    def signature(self) -> Tuple:
+        return (self.basis,)
+
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        return translate_to_basis(circuit, self.basis)
+
+
+# ---------------------------------------------------------------------------
+# analysis: depth / critical path metrics
+# ---------------------------------------------------------------------------
+
+
+class DepthAnalysis(AnalysisPass):
+    """Record size, depth and critical-path metrics of the current circuit.
+
+    Writes ``property_set["metrics"]`` with:
+
+    * ``gate_count`` — operations excluding barriers,
+    * ``two_qubit_gates`` — multi-qubit unitaries,
+    * ``depth`` — moment (layer) count,
+    * ``critical_path_length`` — longest dependent-operation chain in the DAG,
+    * ``critical_two_qubit_gates`` — two-qubit gates on that chain (the
+      numerator of the paper's Critical-Depth feature).
+    """
+
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        critical_two_qubit, critical_length = circuit.two_qubit_critical_path()
+        metrics = property_set.setdefault("metrics", {})
+        metrics.update(
+            {
+                "gate_count": circuit.num_gates(),
+                "two_qubit_gates": circuit.num_two_qubit_gates(),
+                "depth": circuit.depth(),
+                "critical_path_length": critical_length,
+                "critical_two_qubit_gates": critical_two_qubit,
+            }
+        )
+        return circuit

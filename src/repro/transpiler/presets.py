@@ -1,0 +1,166 @@
+"""Preset pipelines: optimization levels and per-device pipeline overrides.
+
+:func:`preset_pipeline` builds the standard
+:class:`~repro.transpiler.passmanager.PassManager` for a device:
+
+* **level 0** — decompose, place, route, translate (no optimization),
+* **level 1** — + negligible-gate dropping, rotation merging and
+  adjacent-inverse cancellation before routing and after basis translation,
+* **level 2** — + single-qubit-run fusion before routing,
+* **level 3** — + commutation-aware two-qubit cancellation
+  (:class:`~repro.transpiler.passes.CommutingTwoQubitCancellation`) in the
+  native basis after the final cleanup.
+
+Levels 0–2 reproduce the historical monolithic ``transpile()`` gate for
+gate; levels above 3 are clamped to 3.  Every preset ends with
+:class:`~repro.transpiler.passes.DepthAnalysis` so the compiled circuit's
+metrics ride along in the property set.
+
+Devices can declare their own pipelines: :func:`register_device_preset`
+installs a factory that replaces the default for one device name (e.g. a
+topology-specific router), and :func:`unregister_device_preset` removes it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..devices import Device
+from ..exceptions import TranspilerError
+from .passes import (
+    BasePass,
+    BasisTranslation,
+    CancelAdjacentInverses,
+    CommutingTwoQubitCancellation,
+    DecomposeToCanonical,
+    DepthAnalysis,
+    DropNegligible,
+    FuseSingleQubitRuns,
+    MergeRotations,
+    NoiseAwareLayout,
+    RoutingPass,
+    SetLayout,
+    TrivialLayout,
+)
+from .passmanager import PassManager
+from .placement import Placement
+
+__all__ = [
+    "MAX_OPTIMIZATION_LEVEL",
+    "preset_pipeline",
+    "register_device_preset",
+    "unregister_device_preset",
+    "validate_optimization_level",
+]
+
+#: Highest distinct preset level; higher requested levels are clamped to it.
+MAX_OPTIMIZATION_LEVEL = 3
+
+#: A device-preset factory: same signature as :func:`preset_pipeline` minus
+#: the registry lookup.
+PresetFactory = Callable[[Device, int, str, Optional[Placement]], PassManager]
+
+_DEVICE_PRESETS: Dict[str, PresetFactory] = {}
+
+
+def validate_optimization_level(optimization_level: int) -> int:
+    """Check and clamp an optimization level.
+
+    Rejects non-integers (including bools) and negative values with
+    :class:`~repro.exceptions.TranspilerError`; integers above
+    :data:`MAX_OPTIMIZATION_LEVEL` are clamped to it.
+    """
+    if isinstance(optimization_level, bool) or not isinstance(optimization_level, int):
+        raise TranspilerError(
+            f"optimization_level must be a non-negative integer, "
+            f"got {optimization_level!r}"
+        )
+    if optimization_level < 0:
+        raise TranspilerError(
+            f"optimization_level must be a non-negative integer, "
+            f"got {optimization_level}"
+        )
+    return min(optimization_level, MAX_OPTIMIZATION_LEVEL)
+
+
+def register_device_preset(device_name: str, factory: PresetFactory) -> None:
+    """Install a custom pipeline factory for one device name.
+
+    The factory receives ``(device, optimization_level, placement,
+    initial_layout)`` — with the level already validated and clamped — and
+    must return a :class:`~repro.transpiler.passmanager.PassManager`.
+    """
+    _DEVICE_PRESETS[device_name] = factory
+
+
+def unregister_device_preset(device_name: str) -> None:
+    """Remove a custom pipeline factory (no-op when none is installed)."""
+    _DEVICE_PRESETS.pop(device_name, None)
+
+
+def _layout_pass(
+    device: Device, placement: str, initial_layout: Optional[Placement]
+) -> BasePass:
+    if initial_layout is not None:
+        return SetLayout(initial_layout)
+    if placement == "trivial":
+        return TrivialLayout(device)
+    if placement == "noise_aware":
+        return NoiseAwareLayout(device)
+    raise TranspilerError(f"unknown placement strategy {placement!r}")
+
+
+def preset_pipeline(
+    device: Device,
+    optimization_level: int = 1,
+    placement: str = "noise_aware",
+    initial_layout: Optional[Placement] = None,
+) -> PassManager:
+    """Build the compilation pipeline for a device.
+
+    Args:
+        device: Target device; consulted for custom registered presets, the
+            native basis and the coupling map.
+        optimization_level: 0–3, see the module docstring.  Non-integers and
+            negatives raise :class:`~repro.exceptions.TranspilerError`.
+        placement: ``"noise_aware"`` (default) or ``"trivial"``.
+        initial_layout: Explicit logical -> physical mapping overriding the
+            placement strategy.
+
+    Returns:
+        A ready-to-run :class:`~repro.transpiler.passmanager.PassManager`.
+    """
+    level = validate_optimization_level(optimization_level)
+    factory = _DEVICE_PRESETS.get(device.name)
+    if factory is not None:
+        return factory(device, level, placement, initial_layout)
+    return PassManager(_default_passes(device, level, placement, initial_layout))
+
+
+def _default_passes(
+    device: Device,
+    level: int,
+    placement: str,
+    initial_layout: Optional[Placement],
+) -> List[BasePass]:
+    passes: List[BasePass] = [DecomposeToCanonical()]
+    # Pre-routing optimization on the canonical circuit (historical stage 2).
+    if level >= 1:
+        passes += [DropNegligible(), MergeRotations(), CancelAdjacentInverses()]
+    if level >= 2:
+        passes += [FuseSingleQubitRuns(), DropNegligible(), CancelAdjacentInverses()]
+    # (No pre-routing commutation pass: in the canonical {u, cx} basis every
+    # single-qubit gate is `u`, which blocks commutation, and adjacent cx
+    # pairs were already cancelled — it would provably be a no-op.)
+    passes += [
+        _layout_pass(device, placement, initial_layout),
+        RoutingPass(device),
+        BasisTranslation(device),
+    ]
+    # Final cleanup in the native basis (historical stage 6).
+    if level >= 1:
+        passes += [MergeRotations(), CancelAdjacentInverses()]
+    if level >= 3:
+        passes += [CommutingTwoQubitCancellation(), MergeRotations(), CancelAdjacentInverses()]
+    passes += [DepthAnalysis()]
+    return passes

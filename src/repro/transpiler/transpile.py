@@ -1,32 +1,32 @@
-"""The transpilation pipeline: circuit + device -> executable circuit.
+"""The transpilation entry point: circuit + device -> executable circuit.
 
 This plays the role the cloud compilers (and the SuperstaQ write-once-
 target-all layer) play in the paper: the benchmarks are specified once at the
 OpenQASM level and the pipeline lowers them to each device's native gates,
 qubits and connectivity, applying only the Closed Division optimizations.
 
-Pipeline stages:
-
-1. canonical decomposition to ``{u, cx}``,
-2. light optimization (cancellation, rotation merging, 1q fusion),
-3. placement (noise-aware by default),
-4. SWAP routing onto the device topology,
-5. translation to the device's native basis,
-6. final cancellation/merging in the native basis.
+:func:`transpile` is a thin wrapper over the pass-manager architecture: it
+builds the device's preset pipeline
+(:func:`~repro.transpiler.presets.preset_pipeline`) — or accepts a custom
+:class:`~repro.transpiler.passmanager.PassManager` — runs it, and packages
+the result (circuit, layouts, SWAP count, depth/critical-path metrics and
+per-pass timing records) into a :class:`TranspiledCircuit`.  At the preset
+optimization levels 0–2 the output is gate-for-gate identical to the
+historical monolithic pipeline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..circuits import Circuit
 from ..devices import Device
 from ..exceptions import TranspilerError
-from .decomposition import basis_for_gates, decompose_to_canonical, translate_to_basis
-from .optimization import cancel_adjacent_inverses, merge_rotations, optimize_circuit
-from .placement import Placement, noise_aware_placement, trivial_placement
-from .routing import route_circuit
+from .passes import PropertySet
+from .passmanager import PassManager, PassRecord
+from .placement import Placement
+from .presets import preset_pipeline
 
 __all__ = ["TranspiledCircuit", "transpile"]
 
@@ -42,6 +42,12 @@ class TranspiledCircuit:
         final_layout: logical -> physical mapping after routing.
         swap_count: Number of SWAPs the router inserted.
         logical_circuit: The original (pre-compilation) circuit.
+        metrics: Compiled-circuit metrics recorded by the pipeline's
+            :class:`~repro.transpiler.passes.DepthAnalysis` pass (depth,
+            gate counts, critical path); empty when the pipeline ran none.
+        pass_records: Per-pass timing and gate-count records of the pipeline
+            run that produced this circuit.
+        pipeline_fingerprint: Stable fingerprint of the pipeline that was run.
     """
 
     circuit: Circuit
@@ -50,6 +56,9 @@ class TranspiledCircuit:
     final_layout: Placement
     swap_count: int
     logical_circuit: Circuit
+    metrics: Dict[str, int] = field(default_factory=dict)
+    pass_records: Tuple[PassRecord, ...] = ()
+    pipeline_fingerprint: str = ""
 
     def active_physical_qubits(self) -> Tuple[int, ...]:
         """Physical qubits actually used by the compiled circuit."""
@@ -76,6 +85,9 @@ class TranspiledCircuit:
         return compacted, physical
 
     def two_qubit_gate_count(self) -> int:
+        # Always computed from the final circuit: `metrics` is the record of
+        # where the pipeline's DepthAnalysis ran, which a custom pipeline may
+        # place before its last transformation.
         return self.circuit.num_two_qubit_gates()
 
     def depth(self) -> int:
@@ -88,21 +100,26 @@ def transpile(
     optimization_level: int = 1,
     placement: str = "noise_aware",
     initial_layout: Placement | None = None,
+    pass_manager: PassManager | None = None,
 ) -> TranspiledCircuit:
     """Compile a logical circuit for a device.
 
     Args:
         circuit: The logical circuit (any supported gates).
         device: Target device from :mod:`repro.devices`.
-        optimization_level: 0 disables optimization, 1 applies cancellation
-            and merging, 2 additionally fuses single-qubit runs.
+        optimization_level: Preset level 0–3 (see
+            :func:`~repro.transpiler.presets.preset_pipeline`).  Negative or
+            non-integer values raise :class:`~repro.exceptions.TranspilerError`.
         placement: ``"noise_aware"`` (default) or ``"trivial"``.
         initial_layout: Explicit logical -> physical mapping overriding the
             placement strategy.
+        pass_manager: Custom pipeline to run instead of the device preset.
+            When given, the preceding three arguments are ignored.
 
     Returns:
         A :class:`TranspiledCircuit` whose circuit only uses the device's
-        native basis gates on coupled qubit pairs.
+        native basis gates on coupled qubit pairs (assuming the pipeline
+        contains the routing and basis-translation passes, as presets do).
     """
     if circuit.num_qubits > device.num_qubits:
         raise TranspilerError(
@@ -110,31 +127,26 @@ def transpile(
             f"({device.num_qubits} qubits)"
         )
 
-    canonical = decompose_to_canonical(circuit)
-    canonical = optimize_circuit(canonical, level=min(optimization_level, 2))
+    if pass_manager is None:
+        pass_manager = preset_pipeline(
+            device,
+            optimization_level=optimization_level,
+            placement=placement,
+            initial_layout=initial_layout,
+        )
 
-    if initial_layout is not None:
-        layout = dict(initial_layout)
-    elif placement == "trivial":
-        layout = trivial_placement(canonical, device)
-    elif placement == "noise_aware":
-        layout = noise_aware_placement(canonical, device)
-    else:
-        raise TranspilerError(f"unknown placement strategy {placement!r}")
+    properties = PropertySet()
+    compiled = pass_manager.run(circuit, properties)
 
-    routed = route_circuit(canonical, device, layout)
-
-    basis = basis_for_gates(device.basis_gates)
-    native = translate_to_basis(routed.circuit, basis)
-    if optimization_level >= 1:
-        native = merge_rotations(native)
-        native = cancel_adjacent_inverses(native)
-
+    identity = {q: q for q in range(circuit.num_qubits)}
     return TranspiledCircuit(
-        circuit=native,
+        circuit=compiled,
         device=device,
-        initial_layout=routed.initial_layout,
-        final_layout=routed.final_layout,
-        swap_count=routed.swap_count,
+        initial_layout=properties.get("initial_layout", identity),
+        final_layout=properties.get("final_layout", identity),
+        swap_count=properties.get("swap_count", 0),
         logical_circuit=circuit,
+        metrics=dict(properties.get("metrics", {})),
+        pass_records=properties.get("pass_records", ()),
+        pipeline_fingerprint=pass_manager.fingerprint,
     )

@@ -80,3 +80,53 @@ class TestTranspileCache:
         cache.get_or_transpile(_ghz(3), device)
         cache.clear()
         assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+class TestPipelineAwareKeys:
+    """Regression tests: the key folds in the full pipeline fingerprint.
+
+    The historical cache keyed on ``(fingerprint, device, optimization_level)``
+    only, so two calls differing in placement strategy (or initial layout)
+    silently shared one entry — the second caller got a circuit compiled with
+    the wrong placement.
+    """
+
+    def test_placement_is_part_of_the_key(self):
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        noise_aware = cache.get_or_transpile(_ghz(3), device, placement="noise_aware")
+        trivial = cache.get_or_transpile(_ghz(3), device, placement="trivial")
+        assert cache.stats() == {"hits": 0, "misses": 2, "entries": 2}
+        assert noise_aware is not trivial
+        assert trivial.transpiled.initial_layout == {0: 0, 1: 1, 2: 2}
+        # The noise-aware heuristic picks a high-connectivity region, which on
+        # Casablanca differs from the identity layout.
+        assert noise_aware.transpiled.initial_layout != trivial.transpiled.initial_layout
+
+    def test_initial_layout_is_part_of_the_key(self):
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        entry_a = cache.get_or_transpile(_ghz(2), device, initial_layout={0: 1, 1: 3})
+        entry_b = cache.get_or_transpile(_ghz(2), device, initial_layout={0: 3, 1: 5})
+        default = cache.get_or_transpile(_ghz(2), device)
+        assert cache.stats()["misses"] == 3
+        assert entry_a.transpiled.initial_layout == {0: 1, 1: 3}
+        assert entry_b.transpiled.initial_layout == {0: 3, 1: 5}
+        assert default is not entry_a and default is not entry_b
+
+    def test_same_pipeline_still_hits(self):
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        first = cache.get_or_transpile(_ghz(3), device, placement="trivial")
+        second = cache.get_or_transpile(_ghz(3), device, placement="trivial")
+        assert first is second
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_entry_records_pipeline_fingerprint(self):
+        from repro.transpiler import preset_pipeline
+
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        entry = cache.get_or_transpile(_ghz(3), device, optimization_level=2)
+        assert entry.pipeline == preset_pipeline(device, optimization_level=2).fingerprint
+        assert entry.transpiled.pipeline_fingerprint == entry.pipeline

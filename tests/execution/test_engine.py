@@ -290,3 +290,105 @@ class TestFigure2BackendSelection:
         assert min(run.mean_score for run in ideal) > 0.9
         mean = lambda runs: sum(r.mean_score for r in runs) / len(runs)
         assert mean(ideal) > mean(noisy)
+
+
+class TestPlacementPlumbing:
+    """placement= is selectable end-to-end: engine default, per-call, drivers."""
+
+    def test_engine_default_placement(self):
+        device = get_device(DEVICE)
+        with ExecutionEngine(device, backend="statevector", placement="trivial") as engine:
+            run = engine.run(GHZBenchmark(3), shots=40, repetitions=1, seed=5)
+            assert run.placement == "trivial"
+            entries = engine.prepare(GHZBenchmark(3).circuits())
+            assert entries[0].transpiled.initial_layout == {0: 0, 1: 1, 2: 2}
+
+    def test_per_call_override_beats_engine_default(self):
+        device = get_device(DEVICE)
+        with ExecutionEngine(device, backend="statevector") as engine:
+            default_run = engine.run(GHZBenchmark(3), shots=40, repetitions=1, seed=5)
+            trivial_run = engine.run(
+                GHZBenchmark(3), shots=40, repetitions=1, seed=5, placement="trivial"
+            )
+            assert default_run.placement == "noise_aware"
+            assert trivial_run.placement == "trivial"
+            assert default_run.pipeline != trivial_run.pipeline
+            # Two pipeline entries for the same circuit: no cache collision.
+            assert engine.stats()["entries"] == 2
+
+    def test_run_suite_forwards_placement(self):
+        device = get_device(DEVICE)
+        with ExecutionEngine(device, backend="statevector") as engine:
+            runs = engine.run_suite(
+                [GHZBenchmark(3)], shots=40, repetitions=1, seed=5, placement="trivial"
+            )
+            assert runs[0].placement == "trivial"
+
+    def test_figure2_driver_forwards_placement(self):
+        runs = reproduce_figure2(
+            devices=[DEVICE],
+            families=["ghz"],
+            shots=40,
+            repetitions=1,
+            backend="statevector",
+            placement="trivial",
+        )
+        assert runs and all(run.placement == "trivial" for run in runs)
+
+    def test_legacy_runner_forwards_placement(self):
+        with pytest.warns(DeprecationWarning):
+            run = run_benchmark_on_device(
+                GHZBenchmark(3),
+                get_device(DEVICE),
+                shots=40,
+                repetitions=1,
+                noisy=False,
+                placement="trivial",
+            )
+        assert run.placement == "trivial"
+
+    def test_job_metadata_carries_pipeline_and_backend_config(self):
+        device = get_device(DEVICE)
+        with ExecutionEngine(device, backend="statevector", max_workers=1) as engine:
+            job = engine.submit(GHZBenchmark(3).circuits(), shots=10, seed=1)
+            job.result()
+            assert job.backend_metadata["name"] == "statevector"
+            for row in job.metadata:
+                assert row["pipeline"]
+                assert row["compiled_critical_two_qubit_gates"] is not None
+
+
+class TestParallelPrepare:
+    def test_parallel_prepare_matches_serial(self, transpile_spy):
+        device = get_device(DEVICE)
+        circuits = [GHZBenchmark(n).circuits()[0] for n in (3, 4, 5, 6)]
+        with ExecutionEngine(device, backend="statevector", max_workers=1) as serial:
+            serial_entries = serial.prepare(circuits)
+        serial_calls = transpile_spy["n"]
+
+        with ExecutionEngine(device, backend="statevector", max_workers=4) as pooled:
+            pooled_entries = pooled.prepare(circuits)
+        assert transpile_spy["n"] == 2 * serial_calls  # same count, per engine
+
+        for a, b in zip(serial_entries, pooled_entries):
+            assert cache_module.circuit_fingerprint(a.compact) == (
+                cache_module.circuit_fingerprint(b.compact)
+            )
+            assert a.transpiled.initial_layout == b.transpiled.initial_layout
+
+    def test_parallel_prepare_compiles_duplicates_once(self, transpile_spy):
+        device = get_device(DEVICE)
+        circuit = GHZBenchmark(4).circuits()[0]
+        with ExecutionEngine(device, backend="statevector", max_workers=4) as engine:
+            entries = engine.prepare([circuit] * 8)
+        assert transpile_spy["n"] == 1
+        assert all(entry is entries[0] for entry in entries)
+
+    def test_parallel_prepare_results_stay_deterministic(self):
+        device = get_device(DEVICE)
+        circuits = [GHZBenchmark(n).circuits()[0] for n in (3, 4, 5)]
+        with ExecutionEngine(device, backend="statevector", max_workers=1) as serial:
+            expected = serial.run_circuits(circuits, shots=60, seed=9)
+        with ExecutionEngine(device, backend="statevector", max_workers=4) as pooled:
+            observed = pooled.run_circuits(circuits, shots=60, seed=9)
+        assert [dict(c) for c in observed] == [dict(c) for c in expected]
