@@ -131,17 +131,32 @@ class StatevectorBackend:
 class TrajectoryBackend:
     """Noisy statevector execution via Monte-Carlo Kraus trajectories.
 
+    Trajectories are simulated as a batched ``(T, 2**n)`` array on the
+    vectorised kernels in :mod:`repro.simulation.kernels`: the deterministic
+    prefix of each circuit is evolved once and only the stochastic suffix is
+    paid per trajectory (see ``docs/simulation.md``).
+
     Args:
         trajectories: Number of independent trajectories the shots are spread
             over.  ``None`` (default) uses one trajectory per shot — the most
-            faithful and the slowest option.
+            faithful option; with batching it is no longer the slowest by
+            orders of magnitude.
+        max_batch_elements: Cap on ``trajectories * 2**n`` amplitudes held in
+            memory at once; beyond it the batch is processed in deterministic
+            chunks (seeded results do not depend on the cap's interaction
+            with the host, only on its value).
     """
 
     name = "trajectory"
     noisy = True
 
-    def __init__(self, trajectories: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        trajectories: Optional[int] = None,
+        max_batch_elements: Optional[int] = None,
+    ) -> None:
         self.trajectories = trajectories
+        self.max_batch_elements = max_batch_elements
 
     def run_batch(
         self,
@@ -153,20 +168,38 @@ class TrajectoryBackend:
     ) -> List[Counts]:
         results: List[Counts] = []
         for index, circuit in enumerate(circuits):
+            extra = (
+                {"max_batch_elements": self.max_batch_elements}
+                if self.max_batch_elements is not None
+                else {}
+            )
             simulator = StatevectorSimulator(
                 noise_model=_noise_for(noise_model, index),
                 seed=circuit_seed(seed, index),
                 trajectories=self.trajectories,
+                **extra,
             )
             results.append(simulator.run(circuit, shots=shots))
         return results
 
     def metadata(self) -> Dict[str, object]:
-        """Flat configuration record attached to jobs by the engine."""
-        return {"name": self.name, "noisy": self.noisy, "trajectories": self.trajectories}
+        """Flat configuration record attached to jobs by the engine.
+
+        ``max_batch_elements`` is part of the record because seeded counts
+        depend on its value (chunk boundaries change RNG consumption order).
+        """
+        return {
+            "name": self.name,
+            "noisy": self.noisy,
+            "trajectories": self.trajectories,
+            "max_batch_elements": self.max_batch_elements,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"TrajectoryBackend(trajectories={self.trajectories})"
+        return (
+            f"TrajectoryBackend(trajectories={self.trajectories}, "
+            f"max_batch_elements={self.max_batch_elements})"
+        )
 
 
 class DensityMatrixBackend:

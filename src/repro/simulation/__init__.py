@@ -1,6 +1,19 @@
-"""Simulation backends: ideal and noisy statevector, exact density matrix."""
+"""Simulation backends: ideal and noisy statevector, exact density matrix.
+
+All simulators run on the structure-specialised, batch-capable kernels in
+:mod:`repro.simulation.kernels` (see ``docs/simulation.md``).
+"""
 
 from .density_matrix import DensityMatrixSimulator
+from .kernels import (
+    FusedGate,
+    GateKernel,
+    analyze_matrix,
+    apply_matrix,
+    apply_matrix_reference,
+    fuse_circuit,
+    fuse_operations,
+)
 from .noise import (
     KrausChannel,
     amplitude_damping_channel,
@@ -25,6 +38,13 @@ from .statevector import (
 __all__ = [
     "Counts",
     "hellinger_fidelity_counts",
+    "GateKernel",
+    "FusedGate",
+    "analyze_matrix",
+    "apply_matrix",
+    "apply_matrix_reference",
+    "fuse_circuit",
+    "fuse_operations",
     "KrausChannel",
     "depolarizing_channel",
     "two_qubit_depolarizing_channel",

@@ -4,29 +4,121 @@ The density-matrix simulator applies every noise channel exactly, which makes
 it the reference implementation the Monte-Carlo trajectory simulator is
 validated against in the test suite.  Memory scales as ``4**n`` so it is only
 practical for small circuits (roughly up to 8 qubits).
+
+Evolution is tensorised: the density matrix is kept as a ``(2,)*2n`` tensor
+whose first ``n`` axes are the ket side and last ``n`` axes the bra side, and
+every operator application is a single structure-specialised kernel call from
+:mod:`~repro.simulation.kernels` over the relevant axes — there is no
+per-column Python loop anywhere.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuits import Circuit
 from ..exceptions import SimulationError
+from . import kernels
+from .kernels import (
+    apply_kernel,
+    conjugate_kernel_for_gate,
+    counts_from_samples,
+    fuse_operations,
+    kernel_for_gate,
+    qubit_axis,
+)
 from .result import Counts
-from .statevector import apply_unitary
 
 __all__ = ["apply_kraus_to_density_matrix", "DensityMatrixSimulator"]
 
 
-def _apply_operator_left(rho: np.ndarray, operator: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
-    """Compute ``(O ⊗ I) rho`` where O acts on the listed qubits."""
-    dim = 2**num_qubits
-    # rho columns are statevectors of the "ket" side; apply O to each column.
-    return np.column_stack(
-        [apply_unitary(rho[:, col], operator, qubits, num_qubits) for col in range(dim)]
-    )
+def _ket_axes(qubits: Sequence[int], num_qubits: int) -> List[int]:
+    return [qubit_axis(q, num_qubits) for q in qubits]
+
+
+def _bra_axes(qubits: Sequence[int], num_qubits: int) -> List[int]:
+    return [qubit_axis(q, num_qubits, offset=num_qubits) for q in qubits]
+
+
+def _apply_sandwich(
+    tensor: np.ndarray,
+    ket_kernel: "kernels.GateKernel",
+    bra_kernel: "kernels.GateKernel",
+    qubits: Sequence[int],
+    num_qubits: int,
+    in_place: bool = False,
+) -> np.ndarray:
+    """Compute ``K rho L^T`` on the tensor form: K over ket axes, L over bra axes.
+
+    With ``L = conj(K)`` this is the Kraus sandwich ``K rho K†``.
+    """
+    out = apply_kernel(tensor, ket_kernel, _ket_axes(qubits, num_qubits), in_place=in_place)
+    return apply_kernel(out, bra_kernel, _bra_axes(qubits, num_qubits), in_place=True)
+
+
+def _pauli_basis(num_qubits: int) -> List[np.ndarray]:
+    from .noise import _PAULIS
+
+    basis = list(_PAULIS)
+    for _ in range(num_qubits - 1):
+        basis = [np.kron(a, b) for a in basis for b in _PAULIS]
+    return basis
+
+
+def _matches_scaled_pauli(operator: np.ndarray, pauli: np.ndarray, scale: float) -> bool:
+    """True when ``operator ≈ c * pauli`` with ``|c| == scale`` (any phase)."""
+    row, col = np.unravel_index(int(np.argmax(np.abs(pauli))), pauli.shape)
+    coefficient = operator[row, col] / pauli[row, col]
+    if not np.isclose(abs(coefficient), scale, atol=1e-12):
+        return False
+    return bool(np.allclose(operator, coefficient * pauli, atol=1e-12))
+
+
+def _depolarizing_weights(channel) -> Optional[Tuple[float, float]]:
+    """Closed-form weights for uniform depolarizing channels, else ``None``.
+
+    A k-qubit uniform depolarizing channel with error probability ``p`` acts
+    exactly as ``rho -> (1 - g) rho + g * (I/2**k ⊗ Tr_k rho)`` with
+    ``g = 4**k p / (4**k - 1)`` — two data passes instead of ``4**k`` Kraus
+    sandwiches.  The structure is verified operator by operator (a scaled
+    identity plus every non-identity Pauli at *uniform* weight, up to phase);
+    anything else — including biased Pauli channels that merely carry the
+    ``depolarizing`` name — falls back to the generic Kraus path.
+    """
+    cached = getattr(channel, "_depolarizing_weights", False)
+    if cached is not False:
+        return cached
+    result = _verify_uniform_depolarizing(channel)
+    object.__setattr__(channel, "_depolarizing_weights", result)
+    return result
+
+
+def _verify_uniform_depolarizing(channel) -> Optional[Tuple[float, float]]:
+    operators = channel.kraus_operators
+    dim = operators[0].shape[0]
+    num_qubits = dim.bit_length() - 1
+    if channel.name not in ("depolarizing", "depolarizing2"):
+        return None
+    if num_qubits not in (1, 2) or len(operators) != dim * dim:
+        return None
+    identity_scale = operators[0][0, 0].real
+    if not np.allclose(operators[0], identity_scale * np.eye(dim), atol=1e-12):
+        return None
+    probability = 1.0 - identity_scale * identity_scale
+    uniform_scale = np.sqrt(max(probability, 0.0) / (dim * dim - 1)) if probability > 0 else 0.0
+    basis = _pauli_basis(num_qubits)[1:]  # non-identity Paulis
+    unmatched = list(range(len(basis)))
+    for operator in operators[1:]:
+        for position, basis_index in enumerate(unmatched):
+            if _matches_scaled_pauli(operator, basis[basis_index], uniform_scale):
+                unmatched.pop(position)
+                break
+        else:
+            return None
+    gamma = dim * dim * probability / (dim * dim - 1)
+    return (1.0 - gamma, gamma)
 
 
 def apply_kraus_to_density_matrix(
@@ -36,19 +128,52 @@ def apply_kraus_to_density_matrix(
     num_qubits: int,
 ) -> np.ndarray:
     """Exact application of a Kraus channel to a density matrix."""
-    result = np.zeros_like(rho)
+    dim = 2**num_qubits
+    tensor = np.asarray(rho, dtype=complex).reshape((2,) * (2 * num_qubits))
+    result: Optional[np.ndarray] = None
     for operator in kraus_operators:
-        left = _apply_operator_left(rho, operator, qubits, num_qubits)
-        # (O rho) O^dagger  ==  conj(O (conj(O rho))^T)^T applied on the bra side.
-        right = _apply_operator_left(left.conj().T, operator, qubits, num_qubits).conj().T
-        result += right
-    return result
+        operator = np.asarray(operator, dtype=complex)
+        ket_kernel = kernels.analyze_matrix(operator)
+        bra_kernel = kernels.analyze_matrix(operator.conj())
+        term = _apply_sandwich(tensor, ket_kernel, bra_kernel, qubits, num_qubits)
+        if result is None:
+            result = np.ascontiguousarray(term)
+        else:
+            result += term
+    assert result is not None  # KrausChannel guarantees >= 1 operator
+    return result.reshape(dim, dim)
 
 
 def apply_unitary_to_density_matrix(
     rho: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
 ) -> np.ndarray:
     return apply_kraus_to_density_matrix(rho, [matrix], qubits, num_qubits)
+
+
+def _apply_depolarizing(
+    tensor: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+    keep: float,
+    gamma: float,
+) -> np.ndarray:
+    """Apply ``rho -> keep * rho + gamma * (I/2**k ⊗ Tr_k rho)`` on the tensor."""
+    k = len(qubits)
+    dim = 1 << k
+    axes = _ket_axes(qubits, num_qubits) + _bra_axes(qubits, num_qubits)
+    view = np.moveaxis(tensor, axes, range(2 * k))
+    trace = None
+    for basis in range(dim):
+        index = tuple((basis >> (k - 1 - i)) & 1 for i in range(k))
+        block = view[index + index]
+        trace = block.copy() if trace is None else trace + block
+    out = tensor * keep
+    out_view = np.moveaxis(out, axes, range(2 * k))
+    trace *= gamma / dim
+    for basis in range(dim):
+        index = tuple((basis >> (k - 1 - i)) & 1 for i in range(k))
+        out_view[index + index] += trace
+    return out
 
 
 class DensityMatrixSimulator:
@@ -62,12 +187,11 @@ class DensityMatrixSimulator:
     # ------------------------------------------------------------------
     def run(self, circuit: Circuit, shots: int = 1024) -> Counts:
         """Execute the circuit exactly and sample ``shots`` outcomes."""
-        probabilities, clbit_patterns = self._output_distribution(circuit)
+        probabilities, measured = self._output_distribution(circuit)
         samples = self._rng.choice(len(probabilities), size=shots, p=probabilities)
-        counts: Dict[str, int] = {}
-        for sample in samples:
-            key = clbit_patterns[int(sample)]
-            counts[key] = counts.get(key, 0) + 1
+        qubits = [qubit for qubit, _clbit in measured]
+        clbits = [clbit for _qubit, clbit in measured]
+        counts = counts_from_samples(samples, qubits, clbits, circuit.num_clbits)
         return Counts(counts, num_bits=circuit.num_clbits)
 
     def final_density_matrix(self, circuit: Circuit) -> np.ndarray:
@@ -82,8 +206,8 @@ class DensityMatrixSimulator:
         return rho
 
     # ------------------------------------------------------------------
-    def _output_distribution(self, circuit: Circuit) -> Tuple[np.ndarray, List[str]]:
-        """Probability of every computational basis outcome and its bitstring key."""
+    def _output_distribution(self, circuit: Circuit) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+        """Outcome probabilities plus the measured ``(qubit, clbit)`` pairs."""
         num_qubits = circuit.num_qubits
         if num_qubits > self.max_qubits:
             raise SimulationError(
@@ -99,14 +223,7 @@ class DensityMatrixSimulator:
 
         if self.noise_model is not None:
             probabilities = self._apply_readout_confusion(probabilities, measured, num_qubits)
-
-        patterns = []
-        for index in range(len(probabilities)):
-            bits = ["0"] * circuit.num_clbits
-            for qubit, clbit in measured:
-                bits[clbit] = "1" if (index >> qubit) & 1 else "0"
-            patterns.append("".join(bits))
-        return probabilities, patterns
+        return probabilities, measured
 
     def _evolve(self, circuit: Circuit, allow_pending_only: bool) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
         num_qubits = circuit.num_qubits
@@ -118,8 +235,33 @@ class DensityMatrixSimulator:
         dim = 2**num_qubits
         rho = np.zeros((dim, dim), dtype=complex)
         rho[0, 0] = 1.0
+        tensor = rho.reshape((2,) * (2 * num_qubits))
         measured: List[Tuple[int, int]] = []
         measured_qubits: set[int] = set()
+        unitary_run: List = []  # Instruction objects
+
+        def flush_run() -> None:
+            nonlocal tensor
+            if not unitary_run:
+                return
+            if len(unitary_run) == 1:
+                instruction = unitary_run[0]
+                tensor = _apply_sandwich(
+                    tensor,
+                    kernel_for_gate(instruction.gate),
+                    conjugate_kernel_for_gate(instruction.gate),
+                    instruction.qubits,
+                    num_qubits,
+                    in_place=True,
+                )
+            else:
+                operations = [(i.gate.matrix(), i.qubits) for i in unitary_run]
+                for fused in fuse_operations(operations):
+                    bra_kernel = kernels.analyze_matrix(fused.matrix.conj())
+                    tensor = _apply_sandwich(
+                        tensor, fused.kernel, bra_kernel, fused.qubits, num_qubits, in_place=True
+                    )
+            unitary_run.clear()
 
         for instruction in circuit:
             if instruction.is_barrier():
@@ -130,8 +272,9 @@ class DensityMatrixSimulator:
                     raise SimulationError(
                         "DensityMatrixSimulator does not support measuring the same qubit twice"
                     )
+                flush_run()
                 # Non-selective measurement = dephasing in the computational basis.
-                rho = self._dephase(rho, qubit, num_qubits)
+                tensor = self._dephase(tensor, qubit, num_qubits)
                 measured.append((qubit, instruction.clbits[0]))
                 measured_qubits.add(qubit)
                 continue
@@ -141,49 +284,72 @@ class DensityMatrixSimulator:
                     "on the same qubit"
                 )
             if instruction.is_reset():
-                rho = self._reset(rho, instruction.qubits[0], num_qubits)
+                flush_run()
+                tensor = self._reset(tensor, instruction.qubits[0], num_qubits)
                 if self.noise_model is not None:
                     for channel, qubits in self.noise_model.reset_channels(instruction.qubits[0]):
-                        rho = apply_kraus_to_density_matrix(
-                            rho, channel.kraus_operators, qubits, num_qubits
-                        )
+                        tensor = self._apply_channel(tensor, channel, qubits, num_qubits)
                 continue
-            rho = apply_unitary_to_density_matrix(
-                rho, instruction.gate.matrix(), instruction.qubits, num_qubits
+            channels = (
+                self.noise_model.gate_channels(instruction)
+                if self.noise_model is not None
+                else []
             )
-            if self.noise_model is not None:
-                for channel, qubits in self.noise_model.gate_channels(instruction):
-                    rho = apply_kraus_to_density_matrix(
-                        rho, channel.kraus_operators, qubits, num_qubits
-                    )
-        return rho, measured
+            unitary_run.append(instruction)
+            if channels:
+                flush_run()
+                for channel, qubits in channels:
+                    tensor = self._apply_channel(tensor, channel, qubits, num_qubits)
+        flush_run()
+        return np.ascontiguousarray(tensor).reshape(dim, dim), measured
 
-    def _dephase(self, rho: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
-        p0 = np.zeros((2, 2), dtype=complex)
-        p0[0, 0] = 1.0
-        p1 = np.zeros((2, 2), dtype=complex)
-        p1[1, 1] = 1.0
-        return apply_kraus_to_density_matrix(rho, [p0, p1], [qubit], num_qubits)
+    def _apply_channel(
+        self, tensor: np.ndarray, channel, qubits: Sequence[int], num_qubits: int
+    ) -> np.ndarray:
+        """Exact Kraus-sum application on the tensor form."""
+        weights = _depolarizing_weights(channel)
+        if weights is not None:
+            return _apply_depolarizing(tensor, qubits, num_qubits, *weights)
+        result: Optional[np.ndarray] = None
+        for ket_kernel, bra_kernel in channel.kraus_kernels():
+            term = _apply_sandwich(tensor, ket_kernel, bra_kernel, qubits, num_qubits)
+            if result is None:
+                result = np.ascontiguousarray(term)
+            else:
+                result += term
+        assert result is not None
+        return result
 
-    def _reset(self, rho: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
-        p0 = np.zeros((2, 2), dtype=complex)
-        p0[0, 0] = 1.0
-        lower = np.zeros((2, 2), dtype=complex)
-        lower[0, 1] = 1.0
-        return apply_kraus_to_density_matrix(rho, [p0, lower], [qubit], num_qubits)
+    def _dephase(self, tensor: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+        """Zero every coherence between the |0> and |1> branches of ``qubit``."""
+        ket = qubit_axis(qubit, num_qubits)
+        bra = qubit_axis(qubit, num_qubits, offset=num_qubits)
+        view = np.moveaxis(tensor, (ket, bra), (0, 1))
+        view[0, 1] = 0.0
+        view[1, 0] = 0.0
+        return tensor
+
+    def _reset(self, tensor: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+        """Move all population of ``qubit`` to |0> and drop its coherences."""
+        ket = qubit_axis(qubit, num_qubits)
+        bra = qubit_axis(qubit, num_qubits, offset=num_qubits)
+        view = np.moveaxis(tensor, (ket, bra), (0, 1))
+        view[0, 0] += view[1, 1]
+        view[0, 1] = 0.0
+        view[1, 0] = 0.0
+        view[1, 1] = 0.0
+        return tensor
 
     def _apply_readout_confusion(
         self, probabilities: np.ndarray, measured: List[Tuple[int, int]], num_qubits: int
     ) -> np.ndarray:
         """Mix the outcome distribution through per-qubit readout error."""
         result = probabilities.copy()
+        indices = np.arange(len(result))
         for qubit, _clbit in measured:
             error = self.noise_model.readout_error_probability(qubit)
             if error <= 0:
                 continue
-            flipped = result.copy()
-            indices = np.arange(len(result))
-            partner = indices ^ (1 << qubit)
-            flipped = result[partner]
+            flipped = result[indices ^ (1 << qubit)]
             result = (1 - error) * result + error * flipped
         return result

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -80,7 +81,64 @@ class KrausChannel:
 
         return apply_kraus_to_density_matrix(rho, self.kraus_operators, qubits, num_qubits)
 
+    def kraus_kernels(self) -> Tuple[Tuple[object, object], ...]:
+        """Per-operator ``(ket_kernel, bra_kernel)`` pairs, analysed once.
 
+        The ket kernel applies ``K`` and the bra kernel ``conj(K)`` (which is
+        ``rho -> rho K†`` when applied to the bra axes of a density tensor).
+        Channel factories are cached, so this analysis is paid once per
+        channel per process rather than once per instruction application.
+        """
+        cached = getattr(self, "_kraus_kernels", None)
+        if cached is None:
+            from .kernels import analyze_matrix
+
+            cached = tuple(
+                (analyze_matrix(operator), analyze_matrix(operator.conj()))
+                for operator in self.kraus_operators
+            )
+            object.__setattr__(self, "_kraus_kernels", cached)
+        return cached
+
+    def unitary_mixture(
+        self, tolerance: float = 1e-12
+    ) -> Optional[Tuple[np.ndarray, Tuple[np.ndarray, ...]]]:
+        """Decompose the channel as a probabilistic mixture of unitaries.
+
+        Returns ``(probabilities, unitaries)`` when every Kraus operator is a
+        scaled unitary (``K_k = sqrt(p_k) U_k``), or ``None`` otherwise.  For
+        such channels — depolarizing, bit/phase flip and every other Pauli
+        channel — the trajectory simulator can sample the branch index from a
+        *state-independent* distribution, which is what makes batched Kraus
+        sampling a single vectorised ``choice`` instead of per-trajectory
+        norm evaluations.  The result is cached on first use.
+        """
+        cached = getattr(self, "_unitary_mixture", False)
+        if cached is not False:
+            return cached
+        probabilities: List[float] = []
+        unitaries: List[np.ndarray] = []
+        identity = np.eye(self.dim)
+        for operator in self.kraus_operators:
+            gram = operator.conj().T @ operator
+            weight = float(np.trace(gram).real) / self.dim
+            if weight <= tolerance:
+                continue  # zero operator: a branch that is never taken
+            if not np.allclose(gram, weight * identity, atol=tolerance * self.dim):
+                object.__setattr__(self, "_unitary_mixture", None)
+                return None
+            probabilities.append(weight)
+            unitaries.append(operator / math.sqrt(weight))
+        total = sum(probabilities)
+        if not probabilities or abs(total - 1.0) > 1e-9:
+            object.__setattr__(self, "_unitary_mixture", None)
+            return None
+        mixture = (np.array(probabilities) / total, tuple(unitaries))
+        object.__setattr__(self, "_unitary_mixture", mixture)
+        return mixture
+
+
+@lru_cache(maxsize=1024)
 def depolarizing_channel(probability: float) -> KrausChannel:
     """Single-qubit depolarizing channel with error probability ``probability``.
 
@@ -97,6 +155,7 @@ def depolarizing_channel(probability: float) -> KrausChannel:
     return KrausChannel(tuple(operators), name="depolarizing")
 
 
+@lru_cache(maxsize=1024)
 def two_qubit_depolarizing_channel(probability: float) -> KrausChannel:
     """Two-qubit depolarizing channel: a uniform non-identity Pauli pair with prob ``p``."""
     _check_probability(probability)
@@ -112,6 +171,7 @@ def two_qubit_depolarizing_channel(probability: float) -> KrausChannel:
     return KrausChannel(tuple(operators), name="depolarizing2")
 
 
+@lru_cache(maxsize=1024)
 def bit_flip_channel(probability: float) -> KrausChannel:
     _check_probability(probability)
     return KrausChannel(
@@ -119,6 +179,7 @@ def bit_flip_channel(probability: float) -> KrausChannel:
     )
 
 
+@lru_cache(maxsize=1024)
 def phase_flip_channel(probability: float) -> KrausChannel:
     _check_probability(probability)
     return KrausChannel(
@@ -126,6 +187,7 @@ def phase_flip_channel(probability: float) -> KrausChannel:
     )
 
 
+@lru_cache(maxsize=1024)
 def amplitude_damping_channel(gamma: float) -> KrausChannel:
     """Energy relaxation (|1> decays to |0>) with probability ``gamma``."""
     _check_probability(gamma)
@@ -134,6 +196,7 @@ def amplitude_damping_channel(gamma: float) -> KrausChannel:
     return KrausChannel((k0, k1), name="amplitude_damping")
 
 
+@lru_cache(maxsize=1024)
 def phase_damping_channel(lam: float) -> KrausChannel:
     """Pure dephasing with probability ``lam`` of losing phase information."""
     _check_probability(lam)
@@ -142,6 +205,7 @@ def phase_damping_channel(lam: float) -> KrausChannel:
     return KrausChannel((k0, k1), name="phase_damping")
 
 
+@lru_cache(maxsize=1024)
 def thermal_relaxation_channel(t1: float, t2: float, duration: float) -> KrausChannel:
     """Combined amplitude damping and dephasing over ``duration``.
 

@@ -103,6 +103,12 @@ class NoiseModel:
         self.reset_error = float(reset_error)
         self.idle_during_readout = bool(idle_during_readout)
         self._validate()
+        # Channel lists are deterministic functions of the calibration data;
+        # cache them so the simulators' compile passes don't rebuild (and the
+        # cached channel factories don't re-hash) per instruction per run.
+        self._relaxation_cache: Dict[Tuple[int, float], KrausChannel | None] = {}
+        self._measurement_cache: Dict[int, ChannelList] = {}
+        self._reset_cache: Dict[int, ChannelList] = {}
 
     def _validate(self) -> None:
         for name, values in (
@@ -152,11 +158,14 @@ class NoiseModel:
         return self.readout_error[qubit]
 
     def _relaxation(self, qubit: int, duration: float) -> KrausChannel | None:
-        if duration <= 0:
-            return None
-        if self.t1[qubit] >= 1e8 and self.t2[qubit] >= 1e8:
-            return None
-        return thermal_relaxation_channel(self.t1[qubit], self.t2[qubit], duration)
+        key = (qubit, duration)
+        if key in self._relaxation_cache:
+            return self._relaxation_cache[key]
+        channel: KrausChannel | None = None
+        if duration > 0 and not (self.t1[qubit] >= 1e8 and self.t2[qubit] >= 1e8):
+            channel = thermal_relaxation_channel(self.t1[qubit], self.t2[qubit], duration)
+        self._relaxation_cache[key] = channel
+        return channel
 
     # ------------------------------------------------------------------
     def gate_channels(self, instruction: Instruction) -> ChannelList:
@@ -196,6 +205,9 @@ class NoiseModel:
 
     def measurement_channels(self, qubit: int) -> ChannelList:
         """Channels applied when ``qubit`` is measured mid-circuit."""
+        cached = self._measurement_cache.get(qubit)
+        if cached is not None:
+            return list(cached)
         channels: ChannelList = []
         if self.idle_during_readout:
             for other in range(self.num_qubits):
@@ -204,10 +216,14 @@ class NoiseModel:
                 relaxation = self._relaxation(other, self.readout_time)
                 if relaxation is not None:
                     channels.append((relaxation, (other,)))
+        self._measurement_cache[qubit] = list(channels)
         return channels
 
     def reset_channels(self, qubit: int) -> ChannelList:
         """Channels applied after a reset instruction on ``qubit``."""
+        cached = self._reset_cache.get(qubit)
+        if cached is not None:
+            return list(cached)
         channels: ChannelList = []
         if self.reset_error > 0:
             channels.append((bit_flip_channel(self.reset_error), (qubit,)))
@@ -218,6 +234,7 @@ class NoiseModel:
                 relaxation = self._relaxation(other, self.readout_time)
                 if relaxation is not None:
                     channels.append((relaxation, (other,)))
+        self._reset_cache[qubit] = list(channels)
         return channels
 
     def apply_readout_error(self, qubit: int, outcome: int, rng: np.random.Generator) -> int:

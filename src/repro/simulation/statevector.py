@@ -7,18 +7,40 @@ Two entry points:
   measurement, reset and (via Monte-Carlo Kraus trajectories) a
   :class:`~repro.simulation.noise_model.NoiseModel`.
 
+Evolution runs on the structure-specialised kernels in
+:mod:`~repro.simulation.kernels`: diagonal and permutation gates take exact
+fast paths, generic gates use the tensordot contraction, and noisy shots are
+simulated as a *batched* ``(T, 2**n)`` trajectory array — the deterministic
+prefix of a circuit is evolved once and only the stochastic suffix is paid
+per trajectory.  The seeded noiseless sampling path is bit-identical to the
+historical per-gate implementation (enforced by golden-count tests).
+
 Indexing convention: qubit 0 is the least significant bit of the statevector
 index and the left-most character of result bitstrings.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuits import Circuit, Instruction
 from ..exceptions import SimulationError
+from . import kernels
+from .kernels import (
+    FusedGate,
+    GateKernel,
+    apply_kernel,
+    counts_from_samples,
+    fuse_operations,
+    kernel_for_gate,
+    measure_qubit_batch,
+    qubit_axis,
+    reset_qubit_batch,
+    sample_counts_array,
+)
 from .result import Counts
 
 __all__ = [
@@ -30,6 +52,12 @@ __all__ = [
     "StatevectorSimulator",
 ]
 
+#: Cap on ``trajectories * 2**n`` elements held in memory at once by the
+#: batched trajectory simulator; larger runs are processed in deterministic
+#: chunks (the chunk boundaries depend only on this constant and the circuit
+#: width, so seeded results do not depend on the host's memory).
+DEFAULT_MAX_BATCH_ELEMENTS = 1 << 21
+
 
 def apply_unitary(
     state: np.ndarray, matrix: np.ndarray, targets: Sequence[int], num_qubits: int
@@ -37,7 +65,9 @@ def apply_unitary(
     """Apply a k-qubit unitary to the listed target qubits of a statevector.
 
     The matrix uses the convention that ``targets[0]`` is the most significant
-    bit of the matrix index (textbook ordering).
+    bit of the matrix index (textbook ordering).  Dispatches to the
+    structure-specialised kernels (bit-compatible with the historical
+    tensordot implementation); the input array is never modified.
     """
     k = len(targets)
     if matrix.shape != (2**k, 2**k):
@@ -45,23 +75,12 @@ def apply_unitary(
             f"matrix shape {matrix.shape} does not match {k} target qubits"
         )
     psi = state.reshape((2,) * num_qubits)
-    # Axis for qubit q in the C-ordered tensor is (num_qubits - 1 - q).
-    axes = [num_qubits - 1 - q for q in targets]
-    tensor = matrix.reshape((2,) * (2 * k))
-    moved = np.tensordot(tensor, psi, axes=(list(range(k, 2 * k)), axes))
-    # tensordot puts the gate's output axes first, in target order; move back.
-    psi = np.moveaxis(moved, list(range(k)), axes)
-    return np.ascontiguousarray(psi).reshape(-1)
+    axes = [qubit_axis(q, num_qubits) for q in targets]
+    out = kernels.apply_matrix(psi, matrix, axes, strict=True, in_place=False)
+    return np.ascontiguousarray(out).reshape(-1)
 
 
-def final_statevector(circuit: Circuit, initial_state: np.ndarray | None = None) -> np.ndarray:
-    """Ideal final statevector of a circuit.
-
-    Terminal measurements are ignored; mid-circuit measurements or resets
-    raise :class:`SimulationError` because the output would not be a pure
-    state (use :class:`StatevectorSimulator` instead).
-    """
-    num_qubits = circuit.num_qubits
+def _initial_tensor(num_qubits: int, initial_state: np.ndarray | None) -> np.ndarray:
     dim = 2**num_qubits
     if initial_state is None:
         state = np.zeros(dim, dtype=complex)
@@ -70,7 +89,30 @@ def final_statevector(circuit: Circuit, initial_state: np.ndarray | None = None)
         state = np.asarray(initial_state, dtype=complex).copy()
         if state.shape != (dim,):
             raise SimulationError("initial state dimension mismatch")
+    return state.reshape((2,) * num_qubits)
 
+
+def final_statevector(
+    circuit: Circuit,
+    initial_state: np.ndarray | None = None,
+    fuse: bool = False,
+) -> np.ndarray:
+    """Ideal final statevector of a circuit.
+
+    Terminal measurements are ignored; mid-circuit measurements or resets
+    raise :class:`SimulationError` because the output would not be a pure
+    state (use :class:`StatevectorSimulator` instead).
+
+    Args:
+        fuse: Merge adjacent gates with :func:`~repro.simulation.kernels.fuse_operations`
+            before evolving.  Faster for deep circuits, but the result may
+            differ from the unfused evolution in the last floating-point ulp —
+            leave off where bit-reproducibility of seeded sampling matters.
+    """
+    num_qubits = circuit.num_qubits
+    psi = _initial_tensor(num_qubits, initial_state)
+
+    gate_instructions: List[Instruction] = []
     seen_measurement_qubits: set[int] = set()
     for instruction in circuit:
         if instruction.is_barrier():
@@ -86,29 +128,48 @@ def final_statevector(circuit: Circuit, initial_state: np.ndarray | None = None)
             raise SimulationError(
                 "circuit contains mid-circuit measurement; use StatevectorSimulator"
             )
-        state = apply_unitary(state, instruction.gate.matrix(), instruction.qubits, num_qubits)
-    return state
+        gate_instructions.append(instruction)
+
+    if fuse:
+        operations = [(i.gate.matrix(), i.qubits) for i in gate_instructions]
+        for fused in fuse_operations(operations):
+            axes = [qubit_axis(q, num_qubits) for q in fused.qubits]
+            psi = apply_kernel(psi, fused.kernel, axes, strict=False)
+    else:
+        # Strict kernels keep this path bit-identical to the historical
+        # per-gate tensordot evolution (the seeded sampling contract).
+        for instruction in gate_instructions:
+            axes = [qubit_axis(q, num_qubits) for q in instruction.qubits]
+            psi = apply_kernel(psi, kernel_for_gate(instruction.gate), axes, strict=True)
+    return np.ascontiguousarray(psi).reshape(-1)
 
 
-def circuit_unitary(circuit: Circuit) -> np.ndarray:
-    """Dense unitary of a measurement-free circuit (exponential cost)."""
+def circuit_unitary(circuit: Circuit, fuse: bool = True) -> np.ndarray:
+    """Dense unitary of a measurement-free circuit (exponential cost).
+
+    Built by applying every (fused) gate kernel to the row axes of the
+    identity tensor in one shot — no per-column loop.
+    """
     num_qubits = circuit.num_qubits
     dim = 2**num_qubits
-    unitary = np.eye(dim, dtype=complex)
+    # Row (output) qubit q of the unitary lives on axis num_qubits - 1 - q.
+    tensor = np.eye(dim, dtype=complex).reshape((2,) * (2 * num_qubits))
+    operations: List[Tuple[np.ndarray, Tuple[int, ...]]] = []
     for instruction in circuit:
         if instruction.is_barrier():
             continue
         if not instruction.is_unitary():
             raise SimulationError("circuit_unitary requires a measurement-free circuit")
-        full = np.zeros((dim, dim), dtype=complex)
-        for column in range(dim):
-            basis = np.zeros(dim, dtype=complex)
-            basis[column] = 1.0
-            full[:, column] = apply_unitary(
-                basis, instruction.gate.matrix(), instruction.qubits, num_qubits
-            )
-        unitary = full @ unitary
-    return unitary
+        operations.append((instruction.gate.matrix(), instruction.qubits))
+    fused_ops = (
+        fuse_operations(operations)
+        if fuse
+        else [FusedGate(matrix, qubits) for matrix, qubits in operations]
+    )
+    for fused in fused_ops:
+        axes = [qubit_axis(q, num_qubits) for q in fused.qubits]
+        tensor = apply_kernel(tensor, fused.kernel, axes, strict=False)
+    return np.ascontiguousarray(tensor).reshape(dim, dim)
 
 
 def probabilities_from_statevector(state: np.ndarray) -> np.ndarray:
@@ -118,13 +179,6 @@ def probabilities_from_statevector(state: np.ndarray) -> np.ndarray:
     if total <= 0:
         raise SimulationError("statevector has zero norm")
     return probabilities / total
-
-
-def _index_to_bitstring(index: int, qubits: Sequence[int], clbits: Sequence[int], num_clbits: int) -> str:
-    bits = ["0"] * num_clbits
-    for qubit, clbit in zip(qubits, clbits):
-        bits[clbit] = "1" if (index >> qubit) & 1 else "0"
-    return "".join(bits)
 
 
 def sample_statevector(
@@ -146,15 +200,160 @@ def sample_statevector(
         num_clbits = max(clbits) + 1 if clbits else 0
     probabilities = probabilities_from_statevector(state)
     samples = generator.choice(len(probabilities), size=shots, p=probabilities)
-    counts: Dict[str, int] = {}
-    for index in samples:
-        key = _index_to_bitstring(int(index), qubits, clbits, num_clbits)
-        counts[key] = counts.get(key, 0) + 1
+    counts = counts_from_samples(samples, qubits, clbits, num_clbits)
     return Counts(counts, num_bits=num_clbits)
+
+
+# ---------------------------------------------------------------------------
+# trajectory plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _GateStep:
+    kernel: GateKernel
+    qubits: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _ChannelStep:
+    qubits: Tuple[int, ...]
+    kraus_kernels: Tuple[GateKernel, ...]
+    mixture: Optional[Tuple[np.ndarray, Tuple[GateKernel, ...], np.ndarray]]
+    #: mixture = (probabilities, unit-normalised kernels, is_identity flags)
+
+
+@dataclass(frozen=True)
+class _MeasureStep:
+    qubit: int
+    clbit: int
+
+
+@dataclass(frozen=True)
+class _ResetStep:
+    qubit: int
+
+
+@dataclass(frozen=True)
+class _TrajectoryPlan:
+    """A circuit compiled for batched trajectory evolution."""
+
+    num_qubits: int
+    num_clbits: int
+    prefix: Tuple[_GateStep, ...]  # deterministic: evolved once, not per trajectory
+    suffix: Tuple[object, ...]  # stochastic tail: evolved per trajectory batch
+    terminal: Tuple[Tuple[int, int], ...]  # (qubit, clbit) sampled at the end
+
+
+def _is_identity_kernel(kernel: GateKernel) -> bool:
+    # Tolerance matters: mixture unitaries are built as K / sqrt(weight), so
+    # the no-error branch's diagonal can be 1.0 +/- 1 ulp; an exact comparison
+    # would silently disable identity-branch skipping for such error rates.
+    return bool(
+        kernel.kind == "diagonal"
+        and np.allclose(kernel.diagonal, 1.0, rtol=0.0, atol=1e-12)
+    )
+
+
+def _channel_step(channel, qubits: Tuple[int, ...]) -> _ChannelStep:
+    # Kernel analysis is cached on the channel object: channel factories are
+    # themselves cached, so each distinct channel is analysed once per process
+    # rather than once per compiled circuit.
+    prepared = getattr(channel, "_batched_kernels", None)
+    if prepared is None:
+        kraus_kernels = tuple(ket for ket, _bra in channel.kraus_kernels())
+        mixture = channel.unitary_mixture()
+        mixture_prepared = None
+        if mixture is not None:
+            probabilities, unitaries = mixture
+            unit_kernels = tuple(kernels.analyze_matrix(u) for u in unitaries)
+            identity_flags = np.array([_is_identity_kernel(k) for k in unit_kernels])
+            mixture_prepared = (probabilities, unit_kernels, identity_flags)
+        prepared = (kraus_kernels, mixture_prepared)
+        object.__setattr__(channel, "_batched_kernels", prepared)
+    return _ChannelStep(qubits, prepared[0], prepared[1])
+
+
+def _compile_trajectory_plan(circuit: Circuit, noise_model) -> _TrajectoryPlan:
+    """Lower a circuit to the step sequence the batched simulator executes.
+
+    Runs of consecutive noise-free unitaries are fused; every stochastic
+    element (noise channel, mid-circuit measurement, reset) becomes its own
+    step.  Terminal measurements are deferred to final-state sampling.
+    """
+    steps: List[object] = []
+    run: List[Tuple[np.ndarray, Tuple[int, ...]]] = []
+    run_instructions: List[Instruction] = []
+
+    def flush_run() -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            instruction = run_instructions[0]
+            steps.append(_GateStep(kernel_for_gate(instruction.gate), instruction.qubits))
+        else:
+            for fused in fuse_operations(run):
+                steps.append(_GateStep(fused.kernel, fused.qubits))
+        run.clear()
+        run_instructions.clear()
+
+    terminal_indices = _terminal_measurements(circuit)
+    terminal_map: Dict[int, int] = {}
+    for index, instruction in enumerate(circuit):
+        if instruction.is_barrier():
+            continue
+        if instruction.is_measurement():
+            qubit, clbit = instruction.qubits[0], instruction.clbits[0]
+            if index in terminal_indices:
+                terminal_map[qubit] = clbit  # last mapping wins
+                continue
+            flush_run()
+            steps.append(_MeasureStep(qubit, clbit))
+            if noise_model is not None:
+                for channel, qubits in noise_model.measurement_channels(qubit):
+                    steps.append(_channel_step(channel, tuple(qubits)))
+            continue
+        if instruction.is_reset():
+            flush_run()
+            steps.append(_ResetStep(instruction.qubits[0]))
+            if noise_model is not None:
+                for channel, qubits in noise_model.reset_channels(instruction.qubits[0]):
+                    steps.append(_channel_step(channel, tuple(qubits)))
+            continue
+        channels = noise_model.gate_channels(instruction) if noise_model is not None else []
+        if channels:
+            run.append((instruction.gate.matrix(), instruction.qubits))
+            run_instructions.append(instruction)
+            flush_run()
+            for channel, qubits in channels:
+                steps.append(_channel_step(channel, tuple(qubits)))
+        else:
+            run.append((instruction.gate.matrix(), instruction.qubits))
+            run_instructions.append(instruction)
+    flush_run()
+
+    split = 0
+    while split < len(steps) and isinstance(steps[split], _GateStep):
+        split += 1
+    return _TrajectoryPlan(
+        num_qubits=circuit.num_qubits,
+        num_clbits=circuit.num_clbits,
+        prefix=tuple(steps[:split]),
+        suffix=tuple(steps[split:]),
+        terminal=tuple(terminal_map.items()),
+    )
 
 
 class StatevectorSimulator:
     """Shot-based statevector simulator with optional Monte-Carlo noise.
+
+    Noisy (and mid-circuit measurement/reset) execution is *batched*: the
+    deterministic prefix of the compiled circuit is evolved once, the
+    stochastic suffix is evolved as a ``(T, 2**n)`` trajectory array with
+    vectorised Kraus sampling, and terminal measurements are sampled with
+    vectorised readout error.  Unitary-mixture channels (depolarizing, Pauli
+    flips) sample their branch from a state-independent distribution and skip
+    identity branches entirely.
 
     Args:
         noise_model: Optional :class:`~repro.simulation.noise_model.NoiseModel`.
@@ -166,6 +365,9 @@ class StatevectorSimulator:
             per shot when the circuit is noisy or contains mid-circuit
             measurement/reset, and a single final-state sampling pass
             otherwise.
+        max_batch_elements: Memory cap on ``trajectories * 2**n`` complex
+            amplitudes held at once; beyond it trajectories are processed in
+            deterministic chunks.
     """
 
     def __init__(
@@ -173,10 +375,12 @@ class StatevectorSimulator:
         noise_model=None,
         seed: int | None = None,
         trajectories: int | None = None,
+        max_batch_elements: int = DEFAULT_MAX_BATCH_ELEMENTS,
     ) -> None:
         self.noise_model = noise_model
         self._rng = np.random.default_rng(seed)
         self.trajectories = trajectories
+        self.max_batch_elements = int(max_batch_elements)
 
     # ------------------------------------------------------------------
     def run(self, circuit: Circuit, shots: int = 1024) -> Counts:
@@ -192,18 +396,7 @@ class StatevectorSimulator:
             return sample_statevector(
                 state, shots, qubits, clbits, circuit.num_clbits, self._rng
             )
-        num_trajectories = self.trajectories or shots
-        num_trajectories = min(num_trajectories, shots)
-        base, remainder = divmod(shots, num_trajectories)
-        counts: Dict[str, int] = {}
-        for t in range(num_trajectories):
-            shots_here = base + (1 if t < remainder else 0)
-            if shots_here == 0:
-                continue
-            key_counts = self._run_single_trajectory(circuit, shots_here)
-            for key, value in key_counts.items():
-                counts[key] = counts.get(key, 0) + value
-        return Counts(counts, num_bits=circuit.num_clbits)
+        return self._run_batched_trajectories(circuit, shots)
 
     # ------------------------------------------------------------------
     def statevector(self, circuit: Circuit) -> np.ndarray:
@@ -211,124 +404,167 @@ class StatevectorSimulator:
         return final_statevector(circuit)
 
     # ------------------------------------------------------------------
-    def _run_single_trajectory(self, circuit: Circuit, shots: int) -> Dict[str, int]:
-        num_qubits = circuit.num_qubits
-        state = np.zeros(2**num_qubits, dtype=complex)
-        state[0] = 1.0
-        classical = ["0"] * circuit.num_clbits
-        sampled_at_end: List[Tuple[int, int]] = []  # (qubit, clbit) terminal measurements
+    def _run_batched_trajectories(self, circuit: Circuit, shots: int) -> Counts:
+        plan = _compile_trajectory_plan(circuit, self.noise_model)
+        num_qubits = plan.num_qubits
+        num_trajectories = self.trajectories or shots
+        num_trajectories = max(1, min(num_trajectories, shots))
+        base, remainder = divmod(shots, num_trajectories)
+        shots_per = np.full(num_trajectories, base, dtype=np.int64)
+        shots_per[:remainder] += 1
 
-        instructions = list(circuit)
-        terminal = _terminal_measurements(circuit)
+        # Deterministic prefix: one statevector evolution for all trajectories.
+        psi = _initial_tensor(num_qubits, None)
+        for step in plan.prefix:
+            axes = [qubit_axis(q, num_qubits) for q in step.qubits]
+            psi = apply_kernel(psi, step.kernel, axes, strict=False)
 
-        for index, instruction in enumerate(instructions):
-            if instruction.is_barrier():
-                continue
-            if instruction.is_measurement():
-                if index in terminal:
-                    sampled_at_end.append((instruction.qubits[0], instruction.clbits[0]))
-                    continue
-                outcome, state = self._measure_qubit(state, instruction.qubits[0], num_qubits)
-                if self.noise_model is not None:
-                    outcome = self.noise_model.apply_readout_error(
-                        instruction.qubits[0], outcome, self._rng
-                    )
-                    state = self._apply_noise_channels(
-                        state,
-                        self.noise_model.measurement_channels(instruction.qubits[0]),
-                        num_qubits,
-                    )
-                classical[instruction.clbits[0]] = str(outcome)
-                continue
-            if instruction.is_reset():
-                outcome, state = self._measure_qubit(state, instruction.qubits[0], num_qubits)
-                if outcome == 1:
-                    from ..circuits.gates import gate_matrix
-
-                    state = apply_unitary(state, gate_matrix("x"), (instruction.qubits[0],), num_qubits)
-                if self.noise_model is not None:
-                    state = self._apply_noise_channels(
-                        state, self.noise_model.reset_channels(instruction.qubits[0]), num_qubits
-                    )
-                continue
-            state = apply_unitary(state, instruction.gate.matrix(), instruction.qubits, num_qubits)
-            if self.noise_model is not None:
-                state = self._apply_noise_channels(
-                    state, self.noise_model.gate_channels(instruction), num_qubits
-                )
-
+        dim = 2**num_qubits
+        chunk = max(1, self.max_batch_elements // dim)
         counts: Dict[str, int] = {}
-        if sampled_at_end:
-            qubits = [q for q, _ in sampled_at_end]
-            clbits = [c for _, c in sampled_at_end]
-            probabilities = probabilities_from_statevector(state)
-            samples = self._rng.choice(len(probabilities), size=shots, p=probabilities)
-            for sample in samples:
-                bits = list(classical)
-                for qubit, clbit in zip(qubits, clbits):
-                    outcome = (int(sample) >> qubit) & 1
-                    if self.noise_model is not None:
-                        outcome = self.noise_model.apply_readout_error(qubit, outcome, self._rng)
-                    bits[clbit] = str(outcome)
-                key = "".join(bits)
-                counts[key] = counts.get(key, 0) + 1
-        else:
-            key = "".join(classical)
-            counts[key] = shots
-        return counts
+        for start in range(0, num_trajectories, chunk):
+            stop = min(start + chunk, num_trajectories)
+            rows = self._evolve_and_sample_chunk(plan, psi, shots_per[start:stop])
+            for key, value in sample_counts_array(rows, plan.num_clbits).items():
+                counts[key] = counts.get(key, 0) + value
+        return Counts(counts, num_bits=plan.num_clbits)
 
-    def _measure_qubit(self, state: np.ndarray, qubit: int, num_qubits: int) -> Tuple[int, np.ndarray]:
-        """Projectively measure one qubit, collapsing and renormalising."""
-        probabilities = np.abs(state) ** 2
-        indices = np.arange(len(state))
-        mask_one = ((indices >> qubit) & 1).astype(bool)
-        p_one = float(probabilities[mask_one].sum())
-        p_one = min(max(p_one, 0.0), 1.0)
-        outcome = 1 if self._rng.random() < p_one else 0
-        new_state = state.copy()
-        if outcome == 1:
-            new_state[~mask_one] = 0.0
-            norm = np.sqrt(p_one)
-        else:
-            new_state[mask_one] = 0.0
-            norm = np.sqrt(max(1.0 - p_one, 0.0))
-        if norm <= 1e-15:
-            raise SimulationError("measurement collapse produced a zero-norm state")
-        return outcome, new_state / norm
-
-    def _apply_noise_channels(self, state: np.ndarray, channels, num_qubits: int) -> np.ndarray:
-        """Apply each (channel, qubits) pair by sampling one Kraus operator."""
-        for channel, qubits in channels:
-            state = self._apply_kraus_trajectory(state, channel.kraus_operators, qubits, num_qubits)
-        return state
-
-    def _apply_kraus_trajectory(
-        self,
-        state: np.ndarray,
-        kraus_operators: Sequence[np.ndarray],
-        qubits: Sequence[int],
-        num_qubits: int,
+    def _evolve_and_sample_chunk(
+        self, plan: _TrajectoryPlan, prefix_state: np.ndarray, shots_per: np.ndarray
     ) -> np.ndarray:
-        if len(kraus_operators) == 1:
-            new_state = apply_unitary(state, kraus_operators[0], qubits, num_qubits)
-            norm = np.linalg.norm(new_state)
-            if norm <= 1e-15:
-                raise SimulationError("Kraus operator annihilated the state")
-            return new_state / norm
-        candidates = []
-        weights = []
-        for operator in kraus_operators:
-            candidate = apply_unitary(state, operator, qubits, num_qubits)
-            weight = float(np.vdot(candidate, candidate).real)
-            candidates.append(candidate)
-            weights.append(max(weight, 0.0))
-        total = sum(weights)
-        if total <= 1e-15:
+        """Evolve one chunk of trajectories and return its classical-bit rows."""
+        num_qubits = plan.num_qubits
+        size = len(shots_per)
+        batch = np.broadcast_to(prefix_state, (size,) + prefix_state.shape).copy()
+        bits = np.zeros((size, plan.num_clbits), dtype=np.uint8)
+
+        for step in plan.suffix:
+            if isinstance(step, _GateStep):
+                axes = [qubit_axis(q, num_qubits, offset=1) for q in step.qubits]
+                batch = apply_kernel(batch, step.kernel, axes, strict=False)
+            elif isinstance(step, _ChannelStep):
+                batch = self._apply_channel_batch(batch, step, num_qubits)
+            elif isinstance(step, _MeasureStep):
+                outcomes = measure_qubit_batch(batch, step.qubit, num_qubits, self._rng)
+                outcomes = self._readout_flips(step.qubit, outcomes)
+                bits[:, step.clbit] = outcomes
+            elif isinstance(step, _ResetStep):
+                reset_qubit_batch(batch, step.qubit, num_qubits, self._rng)
+
+        samples, rows = self._sample_terminal(plan, batch, bits, shots_per)
+        for qubit, clbit in plan.terminal:
+            bit = ((samples >> qubit) & 1).astype(np.uint8)
+            rows[:, clbit] = self._readout_flips(qubit, bit)
+        return rows
+
+    def _sample_terminal(
+        self,
+        plan: _TrajectoryPlan,
+        batch: np.ndarray,
+        bits: np.ndarray,
+        shots_per: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample terminal-measurement basis states for every shot of a chunk.
+
+        Returns ``(samples, rows)`` where ``samples`` holds one sampled basis
+        index per shot and ``rows`` the (readout-error-free) classical bits
+        inherited from mid-circuit measurements, one row per shot.
+        """
+        size = len(shots_per)
+        rows = np.repeat(bits, shots_per, axis=0)
+        if not plan.terminal:
+            return np.zeros(rows.shape[0], dtype=np.int64), rows
+        flat = batch.reshape(size, -1)
+        probabilities = np.abs(flat) ** 2
+        totals = probabilities.sum(axis=1)
+        if np.any(totals <= 0):
+            raise SimulationError("statevector has zero norm")
+        probabilities /= totals[:, None]
+        if np.all(shots_per == 1):
+            # One shot per trajectory: a single vectorised inverse-CDF draw.
+            cumulative = np.cumsum(probabilities, axis=1)
+            draws = self._rng.random(size)
+            samples = (draws[:, None] > cumulative).sum(axis=1)
+            samples = np.minimum(samples, probabilities.shape[1] - 1)
+        else:
+            pieces = [
+                self._rng.choice(probabilities.shape[1], size=int(n), p=probabilities[t])
+                for t, n in enumerate(shots_per)
+            ]
+            samples = np.concatenate(pieces)
+        return samples.astype(np.int64), rows
+
+    def _readout_flips(self, qubit: int, outcomes: np.ndarray) -> np.ndarray:
+        """Vectorised classical readout error on an array of measured bits."""
+        if self.noise_model is None:
+            return outcomes
+        error = self.noise_model.readout_error_probability(qubit)
+        if error <= 0:
+            return outcomes
+        flips = self._rng.random(outcomes.shape[0]) < error
+        return outcomes ^ flips
+
+    def _apply_channel_batch(
+        self, batch: np.ndarray, step: _ChannelStep, num_qubits: int
+    ) -> np.ndarray:
+        """Sample one Kraus branch per trajectory and apply it, vectorised."""
+        axes = [qubit_axis(q, num_qubits, offset=1) for q in step.qubits]
+        size = batch.shape[0]
+        if step.mixture is not None:
+            probabilities, unit_kernels, identity_flags = step.mixture
+            if len(unit_kernels) == 1:
+                if not identity_flags[0]:
+                    batch = apply_kernel(batch, unit_kernels[0], axes, strict=False)
+                return batch
+            choices = self._rng.choice(len(unit_kernels), size=size, p=probabilities)
+            for branch in np.unique(choices):
+                if identity_flags[branch]:
+                    continue  # the overwhelmingly common no-error branch
+                selected = choices == branch
+                sub = batch[selected]
+                sub = apply_kernel(sub, unit_kernels[branch], axes, strict=False)
+                batch[selected] = sub
+            return batch
+
+        # General channel: per-trajectory branch weights are state-dependent.
+        num_branches = len(step.kraus_kernels)
+        weights = np.empty((size, num_branches))
+        for branch, kernel in enumerate(step.kraus_kernels):
+            candidate = apply_kernel(batch, kernel, axes, strict=False, in_place=False)
+            weights[:, branch] = (
+                (np.abs(candidate) ** 2).reshape(size, -1).sum(axis=1)
+            )
+        totals = weights.sum(axis=1)
+        if np.any(totals <= 1e-15):
             raise SimulationError("noise channel annihilated the state")
-        probabilities = np.array(weights) / total
-        choice = int(self._rng.choice(len(candidates), p=probabilities))
-        chosen = candidates[choice]
-        return chosen / np.sqrt(weights[choice])
+        cumulative = np.cumsum(weights / totals[:, None], axis=1)
+        draws = self._rng.random(size)
+        choices = np.minimum((draws[:, None] > cumulative).sum(axis=1), num_branches - 1)
+        for branch in np.unique(choices):
+            selected = choices == branch
+            sub = apply_kernel(batch[selected], step.kraus_kernels[branch], axes, strict=False)
+            norms = np.sqrt(weights[selected, branch])
+            sub /= norms.reshape((-1,) + (1,) * (sub.ndim - 1))
+            batch[selected] = sub
+        return batch
+
+    # ------------------------------------------------------------------
+    def _measure_qubit(self, state: np.ndarray, qubit: int, num_qubits: int) -> Tuple[int, np.ndarray]:
+        """Projectively measure one qubit, collapsing and renormalising.
+
+        The outcome probability is read through a ``(2,)*n`` reshape view and
+        the collapse happens in place on the returned array (which is
+        ``state`` itself whenever ``state`` is C-contiguous; a reshape of a
+        non-contiguous array would silently copy, so such inputs are
+        contiguized first).
+        """
+        if not state.flags.c_contiguous:
+            state = np.ascontiguousarray(state)
+        view = state.reshape((2,) * num_qubits)
+        outcome = int(
+            measure_qubit_batch(view[None, ...], qubit, num_qubits, self._rng)[0]
+        )
+        return outcome, state
 
 
 # ---------------------------------------------------------------------------
@@ -371,11 +607,18 @@ def _non_terminal_measurements(circuit: Circuit) -> List[int]:
 
 
 def _measurement_map(circuit: Circuit) -> Tuple[List[int], List[int]]:
-    """Qubit and classical-bit lists of terminal measurements, in order."""
-    qubits: List[int] = []
-    clbits: List[int] = []
-    for instruction in circuit:
-        if instruction.is_measurement():
-            qubits.append(instruction.qubits[0])
-            clbits.append(instruction.clbits[0])
+    """Qubit and classical-bit lists of terminal measurements, in order.
+
+    Only measurements in the :func:`_terminal_measurements` set are included;
+    when a qubit appears in several terminal measurements (possible when two
+    map to different classical bits with nothing in between), the *last*
+    mapping wins.
+    """
+    terminal = _terminal_measurements(circuit)
+    mapping: Dict[int, int] = {}
+    for index, instruction in enumerate(circuit):
+        if instruction.is_measurement() and index in terminal:
+            mapping[instruction.qubits[0]] = instruction.clbits[0]
+    qubits = list(mapping.keys())
+    clbits = list(mapping.values())
     return qubits, clbits
