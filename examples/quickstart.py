@@ -7,15 +7,17 @@ This mirrors the paper's workflow end to end:
 2. inspect its hardware-agnostic feature vector (Fig. 1),
 3. compile it to a device from the Table II library (the Closed Division
    allows basis translation, noise-aware placement, routing, cancellation),
-4. execute it on the device's calibration-derived noise model, and
-5. compute the application-level score (Hellinger fidelity for GHZ).
+4. execute it on the device's calibration-derived noise model,
+5. compute the application-level score (Hellinger fidelity for GHZ), and
+6. mitigate the readout error through the execution engine and compare the
+   raw and mitigated scores (see docs/mitigation.md).
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import GHZBenchmark, get_device, transpile
+from repro import ExecutionEngine, GHZBenchmark, get_device, transpile
 from repro.simulation import StatevectorSimulator
 
 
@@ -50,6 +52,20 @@ def main() -> None:
     )
     print(f"ideal score: {benchmark.score([ideal]):.3f}")
     print(f"noisy score: {benchmark.score([noisy]):.3f}   (device: {device.name})")
+
+    print("\n=== Error mitigation through the engine ===")
+    with ExecutionEngine(device, backend="trajectory", max_workers=2) as engine:
+        raw = engine.run(benchmark, shots=2000, repetitions=2, seed=1234)
+        mitigated = engine.run(
+            benchmark, shots=2000, repetitions=2, seed=1234, mitigation="readout"
+        )
+        print(f"raw score:       {raw.mean_score:.3f}")
+        print(f"mitigated score: {mitigated.mean_score:.3f}   (readout calibration)")
+        stats = engine.stats()
+        print(
+            f"cache stats: transpile {stats['hits']}h/{stats['misses']}m, "
+            f"calibration {stats['calibration_hits']}h/{stats['calibration_misses']}m"
+        )
 
 
 if __name__ == "__main__":

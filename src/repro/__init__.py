@@ -43,6 +43,7 @@ from . import (
     experiments,
     features,
     hamiltonians,
+    mitigation,
     optimize,
     paulis,
     simulation,
@@ -113,6 +114,7 @@ __all__ = [
     "experiments",
     "features",
     "hamiltonians",
+    "mitigation",
     "optimize",
     "paulis",
     "simulation",

@@ -1,4 +1,12 @@
-"""Distribution-comparison metrics used by the benchmark score functions."""
+"""Distribution-comparison metrics used by the benchmark score functions.
+
+Every metric normalises its inputs through
+:func:`~repro.simulation.result.normalized_probabilities`, which clips the
+negative weights quasi-probability distributions (mitigated outputs) can
+carry — raw :class:`~repro.simulation.result.Counts` and mitigated
+:class:`~repro.simulation.result.QuasiDistribution` objects are accepted
+interchangeably.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +14,8 @@ from typing import Mapping
 
 import numpy as np
 
-from ..exceptions import AnalysisError
-from ..simulation.result import hellinger_fidelity_counts
+from ..exceptions import AnalysisError, SimulationError
+from ..simulation.result import hellinger_fidelity_counts, normalized_probabilities
 
 __all__ = ["hellinger_fidelity", "hellinger_distance", "total_variation_distance"]
 
@@ -15,8 +23,9 @@ __all__ = ["hellinger_fidelity", "hellinger_distance", "total_variation_distance
 def hellinger_fidelity(counts_a: Mapping[str, float], counts_b: Mapping[str, float]) -> float:
     """Hellinger fidelity ``(sum_x sqrt(p(x) q(x)))**2`` between two distributions.
 
-    Accepts raw counts or probabilities; both inputs are normalised first.
-    This is the score function of the GHZ, bit-code and phase-code benchmarks.
+    Accepts raw counts, probabilities or quasi-probabilities; both inputs are
+    normalised first.  This is the score function of the GHZ, bit-code and
+    phase-code benchmarks.
     """
     return hellinger_fidelity_counts(counts_a, counts_b)
 
@@ -31,12 +40,14 @@ def total_variation_distance(
     counts_a: Mapping[str, float], counts_b: Mapping[str, float]
 ) -> float:
     """Total variation distance between two (possibly unnormalised) distributions."""
-    total_a = float(sum(counts_a.values()))
-    total_b = float(sum(counts_b.values()))
-    if total_a <= 0 or total_b <= 0:
+    if not counts_a or not counts_b:
         raise AnalysisError("cannot compare empty distributions")
-    keys = set(counts_a) | set(counts_b)
+    try:
+        p = normalized_probabilities(counts_a)
+        q = normalized_probabilities(counts_b)
+    except SimulationError as error:
+        raise AnalysisError(f"cannot compare distributions: {error}") from error
     distance = 0.0
-    for key in keys:
-        distance += abs(counts_a.get(key, 0.0) / total_a - counts_b.get(key, 0.0) / total_b)
+    for key in set(p) | set(q):
+        distance += abs(p.get(key, 0.0) - q.get(key, 0.0))
     return 0.5 * distance

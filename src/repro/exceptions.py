@@ -45,6 +45,11 @@ class BackendCapacityError(DeviceError):
     backend's capacity (e.g. the density-matrix width limit)."""
 
 
+class MitigationError(ReproError):
+    """Raised when an error-mitigation technique is misconfigured or cannot
+    be applied to the given circuit / counts."""
+
+
 class BenchmarkError(ReproError):
     """Raised when a benchmark is instantiated with invalid parameters."""
 

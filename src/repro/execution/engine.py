@@ -7,6 +7,15 @@ so nothing is ever compiled twice), fans the resulting batch out across a
 worker pool, and executes it on a pluggable
 :class:`~repro.execution.backends.Backend`.
 
+Error mitigation is a first-class option: ``run(..., mitigation="readout")``
+(or ``"zne"`` / ``"dd"`` / any :class:`~repro.mitigation.Mitigator`
+instance) calibrates the device once per ``(device, qubit set, noise
+fingerprint)`` — calibration jobs go through the same worker pool and their
+digested result is memoised in a
+:class:`~repro.mitigation.CalibrationCache` — executes the technique's
+circuit variants, and scores the benchmark on the corrected
+:class:`~repro.simulation.result.QuasiDistribution`.
+
 Determinism: per-circuit seeds are fixed functions of the batch seed and the
 circuit's position, so results are bit-identical for ``max_workers=1`` and
 ``max_workers=N``.
@@ -14,15 +23,18 @@ circuit's position, so results are bit-identical for ``max_workers=1`` and
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..benchmarks import Benchmark
 from ..circuits import Circuit
 from ..devices import Device
-from ..exceptions import BackendCapacityError, DeviceError
+from ..exceptions import BackendCapacityError, DeviceError, MitigationError
 from ..features import typical_features
-from ..simulation import Counts
+from ..mitigation import CalibrationCache, Mitigator, is_raw_spec, resolve_mitigator
+from ..mitigation.calibration import calibration_seed
+from ..simulation import Counts, QuasiDistribution
 from .backends import Backend, backend_metadata, circuit_seed, resolve_backend
 from .cache import CacheEntry, TranspileCache, circuit_fingerprint
 from .job import Job
@@ -49,8 +61,16 @@ class ExecutionEngine:
         placement: Default placement strategy (``"noise_aware"`` or
             ``"trivial"``); overridable per call on :meth:`run`,
             :meth:`run_suite`, :meth:`submit` and :meth:`prepare`.
+        mitigation: Default error-mitigation technique — a
+            :class:`~repro.mitigation.Mitigator` instance or name
+            (``"readout"``, ``"zne"``, ``"dd"``, ...); ``None`` (default)
+            runs raw.  Overridable per call on :meth:`run`,
+            :meth:`run_suite` and :meth:`run_circuits`.
         cache: Optional shared :class:`TranspileCache`; a private cache is
             created when omitted.
+        calibration_cache: Optional shared
+            :class:`~repro.mitigation.CalibrationCache` holding mitigation
+            calibration data; a private cache is created when omitted.
         trajectories: Trajectory count for backends constructed here from a
             name (or the default); ignored when ``backend`` is an instance.
 
@@ -65,7 +85,9 @@ class ExecutionEngine:
         max_workers: int = 1,
         optimization_level: int = 1,
         placement: str = "noise_aware",
+        mitigation: Union[Mitigator, str, None] = None,
         cache: Optional[TranspileCache] = None,
+        calibration_cache: Optional[CalibrationCache] = None,
         trajectories: Optional[int] = None,
     ) -> None:
         if max_workers < 1:
@@ -75,7 +97,16 @@ class ExecutionEngine:
         self.max_workers = int(max_workers)
         self.optimization_level = int(optimization_level)
         self.placement = placement
+        # "raw"/"none" are accepted everywhere a mitigation spec is, so the
+        # constructor honours them too (technique sweeps pass them through).
+        if is_raw_spec(mitigation):
+            self.mitigation: Optional[Mitigator] = None
+        else:
+            self.mitigation = resolve_mitigator(mitigation)
         self.cache = cache if cache is not None else TranspileCache()
+        self.calibration_cache = (
+            calibration_cache if calibration_cache is not None else CalibrationCache()
+        )
         self._executor: Optional[ThreadPoolExecutor] = None
 
     # ------------------------------------------------------------------
@@ -246,15 +277,141 @@ class ExecutionEngine:
     def _run_one(self, compact: Circuit, shots: int, noise, seed: Optional[int]) -> Counts:
         return self.backend.run_batch([compact], shots, noise_model=[noise], seed=seed)[0]
 
+    # ------------------------------------------------------------------
+    # error mitigation
+    # ------------------------------------------------------------------
+    def _call_mitigator(self, mitigation: Union[Mitigator, str, None]) -> Optional[Mitigator]:
+        """Resolve a per-call mitigation spec against the engine default.
+
+        ``None`` means "use the engine's default"; the explicit strings
+        ``"raw"`` / ``"none"`` force unmitigated execution even on an engine
+        constructed with a default technique.
+        """
+        if mitigation is None:
+            return self.mitigation
+        if is_raw_spec(mitigation):
+            return None
+        return resolve_mitigator(mitigation)
+
+    def _noise_fingerprint(self, entry: CacheEntry) -> str:
+        """Noise identity of one compiled circuit's compact register."""
+        if not self.backend.noisy:
+            return "ideal"
+        return entry.noise_model().fingerprint()
+
+    def _calibration_for(self, mitigator: Mitigator, entry: CacheEntry):
+        """Calibration data for one compiled circuit, through the cache.
+
+        Cache misses schedule the technique's calibration circuits on the
+        worker pool (seeded deterministically from the cache key, so a
+        cleared cache reproduces the identical calibration) and digest the
+        counts via :meth:`~repro.mitigation.Mitigator.calibration_from_counts`.
+        """
+        if not mitigator.requires_calibration:
+            return None
+        num_qubits = entry.compact.num_qubits
+        key = (
+            self.device.name,
+            entry.physical,
+            self._noise_fingerprint(entry),
+            mitigator.calibration_key(),
+        )
+
+        def compute():
+            circuits = mitigator.calibration_circuits(num_qubits)
+            noise = entry.noise_model() if self.backend.noisy else None
+            seed = calibration_seed(key)
+            pool = self._pool()
+            futures = [
+                pool.submit(
+                    self._run_one, circuit, mitigator.calibration_shots, noise,
+                    circuit_seed(seed, index),
+                )
+                for index, circuit in enumerate(circuits)
+            ]
+            counts = [future.result() for future in futures]
+            return mitigator.calibration_from_counts(counts, num_qubits)
+
+        return self.calibration_cache.get_or_compute(key, compute)
+
+    def _transform_variants(
+        self, entries: Sequence[CacheEntry], mitigator: Mitigator
+    ) -> List[List[Circuit]]:
+        """Apply the technique's circuit transform once per compiled entry.
+
+        Variants are pure functions of the compiled circuit, so callers
+        compute them once and reuse them across repetitions; a technique /
+        circuit mismatch (e.g. ZNE folding a mid-circuit measurement)
+        raises here, before anything is submitted to the pool.
+        """
+        return [mitigator.transform(entry.compact) for entry in entries]
+
+    def _submit_variants(
+        self,
+        entries: Sequence[CacheEntry],
+        variant_groups: Sequence[Sequence[Circuit]],
+        shots: int,
+        seed: Optional[int],
+    ) -> Tuple[List["Future[Counts]"], List[int]]:
+        """Submit every transform variant of every entry; returns futures + group sizes."""
+        pool = self._pool()
+        futures: List["Future[Counts]"] = []
+        sizes: List[int] = []
+        index = 0
+        for entry, variants in zip(entries, variant_groups):
+            noise = entry.noise_model() if self.backend.noisy else None
+            sizes.append(len(variants))
+            for variant in variants:
+                futures.append(
+                    pool.submit(self._run_one, variant, shots, noise, circuit_seed(seed, index))
+                )
+                index += 1
+        return futures, sizes
+
+    def _collect_variants(
+        self,
+        futures: Sequence["Future[Counts]"],
+        sizes: Sequence[int],
+        entries: Sequence[CacheEntry],
+        mitigator: Mitigator,
+        calibrations: Sequence[object],
+    ) -> List[QuasiDistribution]:
+        """Await variant counts and fold each group back into one quasi-distribution."""
+        results = [future.result() for future in futures]
+        mitigated: List[QuasiDistribution] = []
+        cursor = 0
+        for entry, calibration, size in zip(entries, calibrations, sizes):
+            group = results[cursor : cursor + size]
+            cursor += size
+            mitigated.append(
+                mitigator.mitigate(group, circuit=entry.compact, calibration=calibration)
+            )
+        return mitigated
+
     def run_circuits(
         self,
         circuits: Sequence[Circuit],
         shots: int = 1000,
         seed: Optional[int] = None,
         placement: Optional[str] = None,
+        mitigation: Union[Mitigator, str, None] = None,
     ) -> List[Counts]:
-        """Synchronous convenience wrapper around :meth:`submit`."""
-        return self.submit(circuits, shots=shots, seed=seed, placement=placement).result()
+        """Synchronous convenience wrapper around :meth:`submit`.
+
+        With ``mitigation`` set (or an engine-level default), calibration
+        jobs are scheduled (served from the calibration cache when warm),
+        the technique's circuit variants are executed, and one mitigated
+        :class:`~repro.simulation.result.QuasiDistribution` per input
+        circuit is returned instead of raw :class:`Counts`.
+        """
+        mitigator = self._call_mitigator(mitigation)
+        if mitigator is None:
+            return self.submit(circuits, shots=shots, seed=seed, placement=placement).result()
+        entries = self.prepare(circuits, placement=placement)
+        calibrations = [self._calibration_for(mitigator, entry) for entry in entries]
+        variant_groups = self._transform_variants(entries, mitigator)
+        futures, sizes = self._submit_variants(entries, variant_groups, shots, seed)
+        return self._collect_variants(futures, sizes, entries, mitigator, calibrations)
 
     # ------------------------------------------------------------------
     # benchmark-level API
@@ -266,6 +423,7 @@ class ExecutionEngine:
         repetitions: int = 3,
         seed: Optional[int] = 1234,
         placement: Optional[str] = None,
+        mitigation: Union[Mitigator, str, None] = None,
     ) -> BenchmarkRun:
         """Run one benchmark ``repetitions`` times and collect its scores.
 
@@ -275,19 +433,43 @@ class ExecutionEngine:
         Args:
             placement: Placement strategy for this benchmark; defaults to
                 the engine's :attr:`placement`.
+            mitigation: Error-mitigation technique for this benchmark
+                (instance or name); defaults to the engine's
+                :attr:`mitigation` and accepts ``"raw"`` to force
+                unmitigated execution.  Mitigated runs calibrate at most
+                once per ``(device, qubit set, noise fingerprint)`` across
+                the engine's lifetime and score the benchmark on the
+                corrected quasi-distributions.
 
         Raises:
             DeviceError: when the benchmark needs more qubits than the device has.
         """
         strategy = self.placement if placement is None else placement
+        mitigator = self._call_mitigator(mitigation)
         circuits = benchmark.circuits()
         entries = self.prepare(circuits, placement=strategy)
 
-        jobs: List[Job] = []
-        for repetition in range(repetitions):
-            repetition_seed = None if seed is None else seed + REPETITION_STRIDE * repetition
-            jobs.append(self._submit_prepared(circuits, entries, shots, repetition_seed))
-        scores = [benchmark.score(job.result()) for job in jobs]
+        if mitigator is None:
+            jobs: List[Job] = []
+            for repetition in range(repetitions):
+                repetition_seed = None if seed is None else seed + REPETITION_STRIDE * repetition
+                jobs.append(self._submit_prepared(circuits, entries, shots, repetition_seed))
+            scores = [benchmark.score(job.result()) for job in jobs]
+        else:
+            calibrations = [self._calibration_for(mitigator, entry) for entry in entries]
+            variant_groups = self._transform_variants(entries, mitigator)
+            submissions = []
+            for repetition in range(repetitions):
+                repetition_seed = None if seed is None else seed + REPETITION_STRIDE * repetition
+                submissions.append(
+                    self._submit_variants(entries, variant_groups, shots, repetition_seed)
+                )
+            scores = [
+                benchmark.score(
+                    self._collect_variants(futures, sizes, entries, mitigator, calibrations)
+                )
+                for futures, sizes in submissions
+            ]
 
         first = entries[0]
         return BenchmarkRun(
@@ -304,6 +486,7 @@ class ExecutionEngine:
             backend=self.backend.name,
             placement=strategy,
             pipeline=first.pipeline,
+            mitigation=mitigator.name if mitigator is not None else "",
         )
 
     def run_suite(
@@ -314,6 +497,7 @@ class ExecutionEngine:
         seed: Optional[int] = 1234,
         skip_oversized: bool = True,
         placement: Optional[str] = None,
+        mitigation: Union[Mitigator, str, None] = None,
     ) -> List[BenchmarkRun]:
         """Run a collection of benchmarks on this engine's device.
 
@@ -323,7 +507,22 @@ class ExecutionEngine:
                 entries of Fig. 2.
             placement: Placement strategy for the whole suite; defaults to
                 the engine's :attr:`placement`.
+            mitigation: Error-mitigation technique for the whole suite;
+                defaults to the engine's :attr:`mitigation`.  Benchmarks
+                landing on the same physical qubits share calibration data
+                through the engine's calibration cache.  Benchmarks the
+                technique cannot apply to (e.g. ZNE on the mid-circuit-
+                measurement error-correction codes) are skipped with a
+                warning rather than aborting the suite.
         """
+        # Resolve the spec once, before the loop: an unknown technique name
+        # is a configuration error and must raise here — the per-benchmark
+        # MitigationError handler below is only for technique/circuit
+        # mismatches.  The resolved result (or an explicit "raw" when it is
+        # None) is what run() receives, so the engine default cannot sneak
+        # back in.
+        mitigator = self._call_mitigator(mitigation)
+        resolved = mitigator if mitigator is not None else "raw"
         runs: List[BenchmarkRun] = []
         for benchmark in benchmarks:
             try:
@@ -334,8 +533,11 @@ class ExecutionEngine:
                         repetitions=repetitions,
                         seed=seed,
                         placement=placement,
+                        mitigation=resolved,
                     )
                 )
+            except MitigationError as error:
+                warnings.warn(f"skipping {benchmark}: {error}", stacklevel=2)
             except DeviceError:
                 if not skip_oversized:
                     raise
@@ -343,11 +545,25 @@ class ExecutionEngine:
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        """Transpile-cache statistics (hits, misses, entries)."""
-        return self.cache.stats()
+        """Transpile- and calibration-cache statistics.
+
+        The transpile-cache counters keep their historical flat keys
+        (``hits``, ``misses``, ``entries``); the calibration cache adds
+        ``calibration_hits`` / ``calibration_misses`` /
+        ``calibration_entries``, so cache effectiveness of both layers is
+        observable in benchmarks from one call.
+        """
+        stats = dict(self.cache.stats())
+        for key, value in self.calibration_cache.stats().items():
+            stats[f"calibration_{key}"] = value
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        transpile = self.cache.stats()
+        calibration = self.calibration_cache.stats()
         return (
             f"ExecutionEngine(device={self.device.name!r}, backend={self.backend.name!r}, "
-            f"max_workers={self.max_workers})"
+            f"max_workers={self.max_workers}, "
+            f"transpile_cache={transpile['hits']}h/{transpile['misses']}m, "
+            f"calibration_cache={calibration['hits']}h/{calibration['misses']}m)"
         )

@@ -35,6 +35,8 @@ class BenchmarkRun:
         placement: Placement strategy the circuits were compiled with.
         pipeline: Fingerprint of the transpiler pipeline that compiled the
             circuits (empty for runs predating pipeline-aware caching).
+        mitigation: Name of the error-mitigation technique the scores were
+            measured with (empty for raw execution).
     """
 
     benchmark: str
@@ -50,6 +52,7 @@ class BenchmarkRun:
     backend: str = "trajectory"
     placement: str = "noise_aware"
     pipeline: str = ""
+    mitigation: str = ""
 
     @property
     def mean_score(self) -> float:
@@ -68,6 +71,8 @@ class BenchmarkRun:
             "score": self.mean_score,
             "score_std": self.std_score,
         }
+        if self.mitigation:
+            row["mitigation"] = self.mitigation
         row.update(self.features)
         row.update(self.typical)
         return row

@@ -25,7 +25,12 @@ from .noise import (
     two_qubit_depolarizing_channel,
 )
 from .noise_model import NoiseModel
-from .result import Counts, hellinger_fidelity_counts
+from .result import (
+    Counts,
+    QuasiDistribution,
+    hellinger_fidelity_counts,
+    normalized_probabilities,
+)
 from .statevector import (
     StatevectorSimulator,
     apply_unitary,
@@ -37,7 +42,9 @@ from .statevector import (
 
 __all__ = [
     "Counts",
+    "QuasiDistribution",
     "hellinger_fidelity_counts",
+    "normalized_probabilities",
     "GateKernel",
     "FusedGate",
     "analyze_matrix",

@@ -20,6 +20,7 @@ devices whose readout time is long relative to T1/T2.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import numpy as np
@@ -149,6 +150,31 @@ class NoiseModel:
             readout_error=readout_error,
             idle_during_readout=False,
         )
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable hash of every calibration constant of the model.
+
+        Two models with equal fingerprints apply identical noise to every
+        circuit; the execution layer's calibration cache keys mitigation
+        calibration data on it, so a re-calibrated device (or a different
+        physical-qubit subset) automatically occupies a new cache entry.
+        """
+        payload = (
+            self.num_qubits,
+            tuple(self.t1),
+            tuple(self.t2),
+            self.gate_time_1q,
+            self.gate_time_2q,
+            self.readout_time,
+            tuple(self.error_1q),
+            self._error_2q_default,
+            tuple(sorted((tuple(sorted(pair)), value) for pair, value in self._error_2q.items())),
+            tuple(self.readout_error),
+            self.reset_error,
+            self.idle_during_readout,
+        )
+        return hashlib.sha1(repr(payload).encode()).hexdigest()
 
     # ------------------------------------------------------------------
     def two_qubit_error(self, a: int, b: int) -> float:

@@ -115,6 +115,7 @@ def preset_pipeline(
     optimization_level: int = 1,
     placement: str = "noise_aware",
     initial_layout: Optional[Placement] = None,
+    dd: Optional[str] = None,
 ) -> PassManager:
     """Build the compilation pipeline for a device.
 
@@ -126,6 +127,15 @@ def preset_pipeline(
         placement: ``"noise_aware"`` (default) or ``"trivial"``.
         initial_layout: Explicit logical -> physical mapping overriding the
             placement strategy.
+        dd: Optional dynamical-decoupling sequence name (``"xx"`` or
+            ``"xy4"``) appending a
+            :class:`~repro.mitigation.dd.DynamicalDecoupling` pass after the
+            final cleanup stage — it must run after the cancellation passes,
+            which would otherwise delete the identity-equivalent pulse pairs
+            it inserts — followed by a basis re-translation so the inserted
+            pulses come out native.  Both passes change the pipeline
+            fingerprint, so DD compilations occupy their own transpile-cache
+            entries.
 
     Returns:
         A ready-to-run :class:`~repro.transpiler.passmanager.PassManager`.
@@ -133,8 +143,29 @@ def preset_pipeline(
     level = validate_optimization_level(optimization_level)
     factory = _DEVICE_PRESETS.get(device.name)
     if factory is not None:
-        return factory(device, level, placement, initial_layout)
-    return PassManager(_default_passes(device, level, placement, initial_layout))
+        manager = factory(device, level, placement, initial_layout)
+        if dd is not None:
+            manager = _with_dd_pass(manager, dd, device)
+        return manager
+    return PassManager(_default_passes(device, level, placement, initial_layout, dd=dd))
+
+
+def _dd_pass(dd: str) -> BasePass:
+    # Imported lazily: repro.mitigation.dd derives from this package's pass
+    # classes, so a module-level import would be circular.
+    from ..mitigation.dd import DynamicalDecoupling
+
+    return DynamicalDecoupling(sequence=dd)
+
+
+def _with_dd_pass(manager: PassManager, dd: str, device: Device) -> PassManager:
+    """Insert DD + re-translation before a trailing DepthAnalysis (else append)."""
+    passes = list(manager.passes)
+    position = len(passes)
+    if passes and isinstance(passes[-1], DepthAnalysis):
+        position -= 1
+    passes[position:position] = [_dd_pass(dd), BasisTranslation(device)]
+    return PassManager(passes)
 
 
 def _default_passes(
@@ -142,6 +173,7 @@ def _default_passes(
     level: int,
     placement: str,
     initial_layout: Optional[Placement],
+    dd: Optional[str] = None,
 ) -> List[BasePass]:
     passes: List[BasePass] = [DecomposeToCanonical()]
     # Pre-routing optimization on the canonical circuit (historical stage 2).
@@ -162,5 +194,10 @@ def _default_passes(
         passes += [MergeRotations(), CancelAdjacentInverses()]
     if level >= 3:
         passes += [CommutingTwoQubitCancellation(), MergeRotations(), CancelAdjacentInverses()]
+    if dd is not None:
+        # DD after the cleanup stages (any earlier and they would cancel the
+        # identity-equivalent pulse pairs), followed by a re-translation so
+        # the inserted x/y pulses come out in the device's native basis.
+        passes += [_dd_pass(dd), BasisTranslation(device)]
     passes += [DepthAnalysis()]
     return passes
