@@ -30,7 +30,13 @@ The package provides:
 * :mod:`repro.benchmarks` — the eight benchmark applications with their
   circuit generators and score functions.
 * :mod:`repro.coverage` — the feature-space coverage analysis of Table I.
-* :mod:`repro.experiments` — drivers regenerating every table and figure.
+* :mod:`repro.suite` — the registry-driven suite layer: decorator-registered
+  benchmark families, hashable :class:`~repro.suite.BenchmarkSpec` objects
+  with lazy memoized construction, declarative :class:`~repro.suite.Sweep` /
+  :class:`~repro.suite.Scenario` definitions and sharded, resumable
+  execution through :func:`repro.suite.run_scenario` (see ``docs/suite.md``).
+* :mod:`repro.experiments` — thin scenario definitions regenerating every
+  table and figure.
 """
 
 from . import (
@@ -47,6 +53,7 @@ from . import (
     optimize,
     paulis,
     simulation,
+    suite,
     transpiler,
 )
 from .benchmarks import (
@@ -71,8 +78,9 @@ from .execution import (
     TrajectoryBackend,
     TranspileCache,
 )
-from .features import compute_features, feature_vector
+from .features import compute_features, compute_features_many, feature_vector
 from .simulation import NoiseModel, StatevectorSimulator
+from .suite import BenchmarkSpec, Scenario, Sweep, get_registry, register_family
 from .transpiler import PassManager, preset_pipeline, transpile
 
 __version__ = "1.1.0"
@@ -88,7 +96,13 @@ __all__ = [
     "PassManager",
     "preset_pipeline",
     "compute_features",
+    "compute_features_many",
     "feature_vector",
+    "BenchmarkSpec",
+    "Sweep",
+    "Scenario",
+    "get_registry",
+    "register_family",
     "Backend",
     "ExecutionEngine",
     "Job",
@@ -118,5 +132,6 @@ __all__ = [
     "optimize",
     "paulis",
     "simulation",
+    "suite",
     "transpiler",
 ]

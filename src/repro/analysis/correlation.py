@@ -72,7 +72,10 @@ def correlation_matrix(
 
     Args:
         records: Flat result records, each carrying the group key, the score
-            and one value per feature (e.g. one record per benchmark run).
+            and one value per feature.  Objects exposing ``record()`` (a
+            :class:`~repro.execution.BenchmarkRun`) or ``records()`` (a
+            :class:`~repro.suite.results.SuiteResult`) are flattened
+            automatically, so suite results feed the analysis directly.
         feature_names: The features to regress against.
         group_key: Field identifying the group (the device, in the paper).
         score_key: Field holding the benchmark score.
@@ -80,6 +83,11 @@ def correlation_matrix(
     Returns:
         ``{group: {feature: r_squared}}`` — the heat-map of Fig. 3.
     """
+    if hasattr(records, "records"):
+        records = records.records()
+    records = [
+        record.record() if hasattr(record, "record") else record for record in records
+    ]
     if not records:
         raise AnalysisError("no records supplied")
     grouped: Dict[str, List[Mapping[str, float]]] = {}

@@ -11,17 +11,27 @@ Benchmarks that need several circuits (e.g. VQE measures its energy in two
 bases, Mermin-Bell measures several commuting groups) return them all from
 :meth:`Benchmark.circuits`; the runner executes each with the same number of
 shots and passes the list of counts back to :meth:`Benchmark.score`.
+
+Subclasses implement :meth:`_build_circuits` (and optionally
+:meth:`_build_representative`); the public :meth:`circuits`,
+:meth:`circuit` and :meth:`features` accessors cache their results on the
+instance, so one benchmark object builds its circuits exactly once no matter
+how many times the execution engine, the scorer and the feature extractor
+ask for them.  The returned circuits are shared — callers must not mutate
+them (transpilation and mitigation transforms always produce new circuits).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..circuits import Circuit
 from ..exceptions import BenchmarkError
 from ..features import FeatureVector, compute_features
-from ..simulation import Counts
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..simulation import Counts
 
 __all__ = ["Benchmark"]
 
@@ -33,24 +43,50 @@ class Benchmark(abc.ABC):
     name: str = "benchmark"
 
     @abc.abstractmethod
-    def circuits(self) -> List[Circuit]:
-        """The circuits to execute (one entry per required measurement setting)."""
+    def _build_circuits(self) -> List[Circuit]:
+        """Construct the circuits (one entry per required measurement setting)."""
 
     @abc.abstractmethod
-    def score(self, counts_list: Sequence[Counts]) -> float:
+    def score(self, counts_list: Sequence["Counts"]) -> float:
         """Map the measured counts (one per circuit) to a score in [0, 1]."""
 
     # ------------------------------------------------------------------
-    def circuit(self) -> Circuit:
-        """The representative circuit used for feature computation."""
+    def circuits(self) -> List[Circuit]:
+        """The circuits to execute, built once and cached on the instance."""
+        cached: Optional[List[Circuit]] = getattr(self, "_circuits_cache", None)
+        if cached is None:
+            cached = list(self._build_circuits())
+            self._circuits_cache = cached
+        return list(cached)
+
+    def _build_representative(self) -> Circuit:
+        """Construct the representative circuit (default: the first circuit)."""
         circuits = self.circuits()
         if not circuits:
             raise BenchmarkError(f"benchmark {self.name} produced no circuits")
         return circuits[0]
 
+    def circuit(self) -> Circuit:
+        """The representative circuit used for feature computation (cached)."""
+        cached: Optional[Circuit] = getattr(self, "_circuit_cache", None)
+        if cached is None:
+            cached = self._build_representative()
+            self._circuit_cache = cached
+        return cached
+
     def features(self) -> FeatureVector:
-        """SupermarQ feature vector of the representative circuit."""
-        return compute_features(self.circuit())
+        """SupermarQ feature vector of the representative circuit (cached)."""
+        cached: Optional[FeatureVector] = getattr(self, "_features_cache", None)
+        if cached is None:
+            cached = compute_features(self.circuit())
+            self._features_cache = cached
+        return cached
+
+    def invalidate_cache(self) -> None:
+        """Drop the cached circuits / features (after mutating parameters)."""
+        self._circuits_cache = None
+        self._circuit_cache = None
+        self._features_cache = None
 
     def num_qubits(self) -> int:
         return self.circuit().num_qubits

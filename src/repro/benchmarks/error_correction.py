@@ -23,6 +23,7 @@ from typing import Dict, List, Sequence, Tuple
 from ..circuits import Circuit
 from ..exceptions import BenchmarkError
 from ..simulation import Counts, hellinger_fidelity_counts
+from ..suite.registry import register_family
 from .base import Benchmark
 
 __all__ = ["BitCodeBenchmark", "PhaseCodeBenchmark"]
@@ -95,6 +96,7 @@ class _RepetitionCodeBenchmark(Benchmark):
         return bits
 
 
+@register_family("bit_code")
 class BitCodeBenchmark(_RepetitionCodeBenchmark):
     """Bit-flip repetition code proxy application.
 
@@ -118,7 +120,7 @@ class BitCodeBenchmark(_RepetitionCodeBenchmark):
     ) -> None:
         super().__init__(num_data_qubits, num_rounds, initial_state)
 
-    def circuits(self) -> List[Circuit]:
+    def _build_circuits(self) -> List[Circuit]:
         circuit = Circuit(
             self.total_qubits,
             self.total_clbits,
@@ -148,6 +150,7 @@ class BitCodeBenchmark(_RepetitionCodeBenchmark):
         return f"bit_code[{self.num_data_qubits}d,{self.num_rounds}r]"
 
 
+@register_family("phase_code")
 class PhaseCodeBenchmark(_RepetitionCodeBenchmark):
     """Phase-flip repetition code proxy application.
 
@@ -174,7 +177,7 @@ class PhaseCodeBenchmark(_RepetitionCodeBenchmark):
     ) -> None:
         super().__init__(num_data_qubits, num_rounds, initial_state)
 
-    def circuits(self) -> List[Circuit]:
+    def _build_circuits(self) -> List[Circuit]:
         circuit = Circuit(
             self.total_qubits,
             self.total_clbits,

@@ -13,11 +13,13 @@ from typing import Dict, List, Sequence
 from ..circuits import Circuit
 from ..exceptions import BenchmarkError
 from ..simulation import Counts, hellinger_fidelity_counts
+from ..suite.registry import register_family
 from .base import Benchmark
 
 __all__ = ["GHZBenchmark"]
 
 
+@register_family("ghz")
 class GHZBenchmark(Benchmark):
     """GHZ state-preparation fidelity benchmark.
 
@@ -33,7 +35,7 @@ class GHZBenchmark(Benchmark):
         self._num_qubits = int(num_qubits)
 
     # ------------------------------------------------------------------
-    def circuits(self) -> List[Circuit]:
+    def _build_circuits(self) -> List[Circuit]:
         circuit = Circuit(self._num_qubits, self._num_qubits, name=f"ghz_{self._num_qubits}")
         circuit.h(0)
         for qubit in range(self._num_qubits - 1):

@@ -24,11 +24,13 @@ from ..exceptions import BenchmarkError
 from ..hamiltonians import TimeDependentTFIM, trotter_circuit
 from ..paulis import PauliString, PauliSum
 from ..simulation import Counts, final_statevector
+from ..suite.registry import register_family
 from .base import Benchmark
 
 __all__ = ["HamiltonianSimulationBenchmark"]
 
 
+@register_family("hamiltonian_simulation")
 class HamiltonianSimulationBenchmark(Benchmark):
     """Trotterised simulation of the driven 1D TFIM scored on magnetisation.
 
@@ -79,7 +81,7 @@ class HamiltonianSimulationBenchmark(Benchmark):
         circuit.name = f"hamiltonian_simulation_{self._num_qubits}q_{self._steps}s"
         return circuit
 
-    def circuits(self) -> List[Circuit]:
+    def _build_circuits(self) -> List[Circuit]:
         return [self._evolution_circuit(measure=True)]
 
     def magnetisation_operator(self) -> PauliSum:

@@ -29,6 +29,7 @@ from ..circuits import Circuit
 from ..exceptions import BenchmarkError
 from ..paulis import PauliString, PauliSum, PauliTerm
 from ..simulation import Counts
+from ..suite.registry import register_family
 from .base import Benchmark
 
 __all__ = ["MerminBellBenchmark", "mermin_operator", "classical_bound", "quantum_bound"]
@@ -62,6 +63,7 @@ def classical_bound(num_qubits: int) -> float:
     return float(2 ** ((num_qubits - (num_qubits % 2)) // 2))
 
 
+@register_family("mermin_bell")
 class MerminBellBenchmark(Benchmark):
     """Mermin inequality violation benchmark.
 
@@ -93,7 +95,7 @@ class MerminBellBenchmark(Benchmark):
             circuit.cx(qubit, qubit + 1)
         return circuit
 
-    def circuits(self) -> List[Circuit]:
+    def _build_circuits(self) -> List[Circuit]:
         circuits: List[Circuit] = []
         for index, group in enumerate(self._groups):
             circuit = self._state_preparation()

@@ -27,6 +27,7 @@ from ..exceptions import BenchmarkError
 from ..hamiltonians import SKModel
 from ..optimize import minimize_nelder_mead
 from ..simulation import Counts, final_statevector
+from ..suite.registry import register_family
 from .base import Benchmark
 
 __all__ = ["VanillaQAOABenchmark", "ZZSwapQAOABenchmark"]
@@ -109,11 +110,11 @@ class _QAOABenchmark(Benchmark):
         return self._ideal_energy
 
     # -- circuits and scoring ----------------------------------------------
-    def circuits(self) -> List[Circuit]:
+    def _build_circuits(self) -> List[Circuit]:
         gamma, beta = self.optimal_parameters()
         return [self.ansatz(gamma, beta, measure=True)]
 
-    def circuit(self) -> Circuit:
+    def _build_representative(self) -> Circuit:
         """Representative circuit for feature analysis.
 
         The feature vector does not depend on the variational parameter
@@ -141,6 +142,7 @@ class _QAOABenchmark(Benchmark):
         return _energy_score(self.ideal_energy(), self.measured_energy(counts_list[0]))
 
 
+@register_family("vanilla_qaoa")
 class VanillaQAOABenchmark(_QAOABenchmark):
     """Depth-one QAOA with the textbook ansatz matching the SK model exactly.
 
@@ -167,6 +169,7 @@ class VanillaQAOABenchmark(_QAOABenchmark):
         return f"vanilla_qaoa[{self._num_qubits}q]"
 
 
+@register_family("zzswap_qaoa")
 class ZZSwapQAOABenchmark(_QAOABenchmark):
     """Depth-one QAOA implemented with a linear-depth SWAP network.
 

@@ -1,121 +1,93 @@
-"""Standard SupermarQ benchmark instances.
+"""Standard SupermarQ benchmark instances (registry-driven).
 
-Two groupings are provided:
+The instance lists that used to be hard-coded here are now generated from
+the declarative sweep definitions in :mod:`repro.suite.scenarios`, so the
+Fig. 2 lists, the Table I scaling suite and the experiment drivers all share
+one source of truth.  The public API is unchanged:
 
-* :func:`figure2_benchmarks` — the exact instances evaluated in Fig. 2 of the
-  paper (per-subfigure lists of parameterisations).
+* :func:`figure2_benchmarks` — the exact instances evaluated in Fig. 2 of
+  the paper (per-subfigure lists of parameterisations).
 * :func:`scaling_suite` — instances of every benchmark family across a range
   of sizes, used by the coverage analysis (Table I) and by the examples.
+* :func:`make_benchmark` — construct a benchmark by family name through the
+  :class:`~repro.suite.registry.BenchmarkRegistry`.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from typing import Dict, List, Sequence
 
+from ..suite.registry import get_registry
+from ..suite.scenarios import SCALING_SIZES, figure2_sweeps, scaling_specs
 from .base import Benchmark
-from .error_correction import BitCodeBenchmark, PhaseCodeBenchmark
-from .ghz import GHZBenchmark
-from .hamiltonian_simulation import HamiltonianSimulationBenchmark
-from .mermin_bell import MerminBellBenchmark
-from .qaoa import VanillaQAOABenchmark, ZZSwapQAOABenchmark
-from .vqe import VQEBenchmark
 
 __all__ = ["BENCHMARK_FAMILIES", "figure2_benchmarks", "scaling_suite", "make_benchmark"]
 
-#: Family name -> constructor, for programmatic access.
-BENCHMARK_FAMILIES = {
-    "ghz": GHZBenchmark,
-    "mermin_bell": MerminBellBenchmark,
-    "bit_code": BitCodeBenchmark,
-    "phase_code": PhaseCodeBenchmark,
-    "vanilla_qaoa": VanillaQAOABenchmark,
-    "zzswap_qaoa": ZZSwapQAOABenchmark,
-    "vqe": VQEBenchmark,
-    "hamiltonian_simulation": HamiltonianSimulationBenchmark,
-}
+
+class _FamilyView(Mapping):
+    """Read-only live view of the default registry's family table."""
+
+    def __getitem__(self, name: str) -> type:
+        return get_registry().family(name)
+
+    def __iter__(self):
+        return iter(get_registry().families())
+
+    def __len__(self) -> int:
+        return len(get_registry().families())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(dict(self))
+
+
+#: Family name -> constructor, for programmatic access.  A live, read-only
+#: view of the default :class:`~repro.suite.registry.BenchmarkRegistry`, so
+#: families registered later (plugins, tests) appear here too.
+BENCHMARK_FAMILIES: Mapping = _FamilyView()
 
 
 def make_benchmark(family: str, *args, **kwargs) -> Benchmark:
-    """Instantiate a benchmark by family name."""
-    if family not in BENCHMARK_FAMILIES:
-        raise KeyError(f"unknown benchmark family {family!r}; known: {sorted(BENCHMARK_FAMILIES)}")
-    return BENCHMARK_FAMILIES[family](*args, **kwargs)
+    """Instantiate a benchmark by family name.
+
+    Raises:
+        UnknownBenchmarkError: for unregistered family names, with a
+            did-you-mean suggestion (a :class:`KeyError` subclass, so
+            callers of the historical API keep working).
+    """
+    return get_registry().make(family, *args, **kwargs)
 
 
 def figure2_benchmarks(small: bool = False) -> Dict[str, List[Benchmark]]:
     """The benchmark instances evaluated in Fig. 2, grouped per subfigure.
+
+    Generated from :data:`repro.suite.scenarios.FIGURE2_FULL_SWEEPS` /
+    ``FIGURE2_SMALL_SWEEPS``; instances are memoized per spec in the default
+    registry, so repeated calls return the same objects (and their cached
+    circuits).
 
     Args:
         small: When True, return a reduced set (the smallest one or two
             instances per family) so the full cross-platform sweep stays fast
             enough for continuous testing.  The full set matches the paper.
     """
-    if small:
-        return {
-            "ghz": [GHZBenchmark(3), GHZBenchmark(5)],
-            "mermin_bell": [MerminBellBenchmark(3)],
-            "bit_code": [BitCodeBenchmark(3, 2)],
-            "phase_code": [PhaseCodeBenchmark(3, 2)],
-            "vqe": [VQEBenchmark(4, 1)],
-            "hamiltonian_simulation": [
-                HamiltonianSimulationBenchmark(4, steps=1),
-            ],
-            "zzswap_qaoa": [ZZSwapQAOABenchmark(4)],
-            "vanilla_qaoa": [VanillaQAOABenchmark(4)],
-        }
+    registry = get_registry()
     return {
-        "ghz": [GHZBenchmark(n) for n in (3, 5, 7, 11)],
-        "mermin_bell": [MerminBellBenchmark(n) for n in (3, 4)],
-        "bit_code": [
-            BitCodeBenchmark(3, 2),
-            BitCodeBenchmark(3, 3),
-            BitCodeBenchmark(5, 2),
-            BitCodeBenchmark(5, 3),
-        ],
-        "phase_code": [
-            PhaseCodeBenchmark(3, 2),
-            PhaseCodeBenchmark(3, 3),
-            PhaseCodeBenchmark(5, 2),
-            PhaseCodeBenchmark(5, 3),
-        ],
-        "vqe": [
-            VQEBenchmark(4, 1),
-            VQEBenchmark(4, 2),
-            VQEBenchmark(7, 1),
-            VQEBenchmark(7, 2),
-        ],
-        "hamiltonian_simulation": [
-            HamiltonianSimulationBenchmark(4, steps=1),
-            HamiltonianSimulationBenchmark(4, steps=3),
-            HamiltonianSimulationBenchmark(7, steps=1),
-            HamiltonianSimulationBenchmark(7, steps=3),
-            HamiltonianSimulationBenchmark(11, steps=1),
-            HamiltonianSimulationBenchmark(11, steps=3),
-        ],
-        "zzswap_qaoa": [ZZSwapQAOABenchmark(n) for n in (4, 5, 7, 11)],
-        "vanilla_qaoa": [VanillaQAOABenchmark(n) for n in (4, 5, 7, 11)],
+        sweep.family: [registry.build(spec) for spec in sweep.specs()]
+        for sweep in figure2_sweeps(small=small)
     }
 
 
-def scaling_suite(sizes: Sequence[int] = (3, 5, 7, 11, 16, 27, 50, 100, 250, 500, 1000)) -> List[Benchmark]:
+def scaling_suite(sizes: Sequence[int] = SCALING_SIZES) -> List[Benchmark]:
     """Benchmark instances spanning NISQ to early-FT sizes for coverage analysis.
 
     Only families whose construction is purely structural (no classical
     pre-optimisation) are instantiated at the very large sizes, so building
     the suite stays cheap; the variational families are included up to the
-    sizes their classical reference supports.
+    sizes their classical reference supports (see
+    :data:`repro.suite.scenarios.SCALING_RULES`).  Instances are *not*
+    memoized in the registry — the early-FT sizes would otherwise pin
+    multi-MB circuits in the process-global cache.
     """
-    suite: List[Benchmark] = []
-    for size in sizes:
-        suite.append(GHZBenchmark(max(size, 2)))
-        data_qubits = max((size + 1) // 2, 2)
-        suite.append(BitCodeBenchmark(data_qubits, num_rounds=2))
-        suite.append(PhaseCodeBenchmark(data_qubits, num_rounds=2))
-        suite.append(HamiltonianSimulationBenchmark(max(size, 2), steps=1))
-        if size <= 7:
-            suite.append(MerminBellBenchmark(max(size, 3)))
-        if size <= 12:
-            suite.append(VQEBenchmark(max(size, 2), num_layers=1))
-            suite.append(VanillaQAOABenchmark(max(size, 3)))
-            suite.append(ZZSwapQAOABenchmark(max(size, 3)))
-    return suite
+    registry = get_registry()
+    return [registry.create(spec) for spec in scaling_specs(sizes)]

@@ -25,12 +25,14 @@ from ..exceptions import BenchmarkError
 from ..hamiltonians import TransverseFieldIsing
 from ..optimize import minimize_nelder_mead
 from ..simulation import Counts, final_statevector
+from ..suite.registry import register_family
 from .base import Benchmark
 from .qaoa import _energy_score
 
 __all__ = ["VQEBenchmark"]
 
 
+@register_family("vqe")
 class VQEBenchmark(Benchmark):
     """Single-iteration VQE proxy on the 1D TFIM.
 
@@ -150,14 +152,14 @@ class VQEBenchmark(Benchmark):
         return self.model.exact_ground_energy()
 
     # ------------------------------------------------------------------
-    def circuits(self) -> List[Circuit]:
+    def _build_circuits(self) -> List[Circuit]:
         parameters = self.optimal_parameters()
         return [
             self.ansatz(parameters, measure_basis="z"),
             self.ansatz(parameters, measure_basis="x"),
         ]
 
-    def circuit(self) -> Circuit:
+    def _build_representative(self) -> Circuit:
         """Representative circuit for feature analysis.
 
         Feature values do not depend on the rotation angles, so fixed

@@ -16,17 +16,22 @@ from scipy.spatial import ConvexHull, QhullError
 
 from ..circuits import Circuit
 from ..exceptions import AnalysisError
-from ..features import feature_vector
+from ..features import compute_features_many
 
 __all__ = ["coverage_volume", "coverage_volume_of_circuits", "feature_matrix"]
 
 
 def feature_matrix(circuits: Iterable[Circuit]) -> np.ndarray:
-    """Stack the feature vectors of many circuits into an ``(n, 6)`` matrix."""
-    rows = [feature_vector(circuit) for circuit in circuits]
-    if not rows:
+    """Stack the feature vectors of many circuits into an ``(n, 6)`` matrix.
+
+    Uses the batched single-pass extractor
+    (:func:`repro.features.compute_features_many`) — the hot path of the
+    Table I coverage sweeps.
+    """
+    matrix = compute_features_many(circuits)
+    if matrix.shape[0] == 0:
         raise AnalysisError("no circuits supplied")
-    return np.vstack(rows)
+    return matrix
 
 
 def coverage_volume(vectors: Sequence[Sequence[float]] | np.ndarray) -> float:

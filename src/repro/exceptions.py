@@ -54,5 +54,37 @@ class BenchmarkError(ReproError):
     """Raised when a benchmark is instantiated with invalid parameters."""
 
 
+class UnknownBenchmarkError(BenchmarkError, KeyError):
+    """Raised when a benchmark family name is not registered.
+
+    Subclasses :class:`KeyError` for backward compatibility with callers that
+    caught the bare ``KeyError`` historically raised by ``make_benchmark``.
+    Use :func:`unknown_benchmark` to build an instance with a did-you-mean
+    suggestion.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s the message (useful for dict keys, noise
+        # here); restore the plain Exception rendering.
+        return Exception.__str__(self)
+
+
+def unknown_benchmark(family: str, known) -> UnknownBenchmarkError:
+    """Build an :class:`UnknownBenchmarkError` with a did-you-mean suggestion.
+
+    Args:
+        family: The unknown family name that was requested.
+        known: Iterable of registered family names.
+    """
+    import difflib
+
+    known = sorted(known)
+    message = f"unknown benchmark family {family!r}; known: {known}"
+    close = difflib.get_close_matches(family, known, n=1, cutoff=0.5)
+    if close:
+        message += f" — did you mean {close[0]!r}?"
+    return UnknownBenchmarkError(message)
+
+
 class AnalysisError(ReproError):
     """Raised when an analysis routine receives unusable data."""

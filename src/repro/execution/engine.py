@@ -23,9 +23,10 @@ circuit's position, so results are bit-identical for ``max_workers=1`` and
 
 from __future__ import annotations
 
+import time
 import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..benchmarks import Benchmark
 from ..circuits import Circuit
@@ -444,6 +445,7 @@ class ExecutionEngine:
         Raises:
             DeviceError: when the benchmark needs more qubits than the device has.
         """
+        started = time.perf_counter()
         strategy = self.placement if placement is None else placement
         mitigator = self._call_mitigator(mitigation)
         circuits = benchmark.circuits()
@@ -487,6 +489,7 @@ class ExecutionEngine:
             placement=strategy,
             pipeline=first.pipeline,
             mitigation=mitigator.name if mitigator is not None else "",
+            seconds=time.perf_counter() - started,
         )
 
     def run_suite(
@@ -498,6 +501,8 @@ class ExecutionEngine:
         skip_oversized: bool = True,
         placement: Optional[str] = None,
         mitigation: Union[Mitigator, str, None] = None,
+        on_result: Optional[Callable[[Benchmark, BenchmarkRun], None]] = None,
+        on_skip: Optional[Callable[[Benchmark, Exception], None]] = None,
     ) -> List[BenchmarkRun]:
         """Run a collection of benchmarks on this engine's device.
 
@@ -514,6 +519,14 @@ class ExecutionEngine:
                 technique cannot apply to (e.g. ZNE on the mid-circuit-
                 measurement error-correction codes) are skipped with a
                 warning rather than aborting the suite.
+            on_result: Streaming hook: called as ``on_result(benchmark,
+                run)`` the moment each benchmark finishes, before the next
+                one starts — the suite layer aggregates partial results
+                through it.  Exactly one of ``on_result`` / ``on_skip``
+                fires per benchmark, in iteration order.
+            on_skip: Streaming hook: called as ``on_skip(benchmark, error)``
+                when a benchmark is skipped (oversized circuit, backend
+                capacity, technique mismatch) instead of producing a run.
         """
         # Resolve the spec once, before the loop: an unknown technique name
         # is a configuration error and must raise here — the per-benchmark
@@ -526,21 +539,31 @@ class ExecutionEngine:
         runs: List[BenchmarkRun] = []
         for benchmark in benchmarks:
             try:
-                runs.append(
-                    self.run(
-                        benchmark,
-                        shots=shots,
-                        repetitions=repetitions,
-                        seed=seed,
-                        placement=placement,
-                        mitigation=resolved,
-                    )
+                run = self.run(
+                    benchmark,
+                    shots=shots,
+                    repetitions=repetitions,
+                    seed=seed,
+                    placement=placement,
+                    mitigation=resolved,
                 )
             except MitigationError as error:
-                warnings.warn(f"skipping {benchmark}: {error}", stacklevel=2)
-            except DeviceError:
+                # With a skip hook installed its owner decides how to report
+                # (the suite runner warns itself); warn here only for direct
+                # callers so the event is never reported twice.
+                if on_skip is not None:
+                    on_skip(benchmark, error)
+                else:
+                    warnings.warn(f"skipping {benchmark}: {error}", stacklevel=2)
+            except DeviceError as error:
                 if not skip_oversized:
                     raise
+                if on_skip is not None:
+                    on_skip(benchmark, error)
+            else:
+                runs.append(run)
+                if on_result is not None:
+                    on_result(benchmark, run)
         return runs
 
     # ------------------------------------------------------------------

@@ -37,6 +37,8 @@ class BenchmarkRun:
             circuits (empty for runs predating pipeline-aware caching).
         mitigation: Name of the error-mitigation technique the scores were
             measured with (empty for raw execution).
+        seconds: Wall time of the run (compile + all repetitions + scoring),
+            measured by the engine; 0.0 for runs predating suite timing.
     """
 
     benchmark: str
@@ -53,6 +55,7 @@ class BenchmarkRun:
     placement: str = "noise_aware"
     pipeline: str = ""
     mitigation: str = ""
+    seconds: float = 0.0
 
     @property
     def mean_score(self) -> float:

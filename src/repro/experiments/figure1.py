@@ -4,34 +4,25 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..benchmarks import (
-    BitCodeBenchmark,
-    GHZBenchmark,
-    HamiltonianSimulationBenchmark,
-    MerminBellBenchmark,
-    PhaseCodeBenchmark,
-    VQEBenchmark,
-    VanillaQAOABenchmark,
-    ZZSwapQAOABenchmark,
-)
 from ..features import FEATURE_NAMES
+from ..suite import FIGURE1_SPECS, get_registry
 from .formatting import format_table
 
 __all__ = ["figure1_benchmarks", "reproduce_figure1", "render_figure1"]
 
 
 def figure1_benchmarks():
-    """Representative instances matching the sample circuits shown in Fig. 1."""
-    return [
-        GHZBenchmark(3),
-        MerminBellBenchmark(3),
-        PhaseCodeBenchmark(3, 1),
-        BitCodeBenchmark(3, 1),
-        ZZSwapQAOABenchmark(4),
-        VanillaQAOABenchmark(3),
-        VQEBenchmark(4, 1),
-        HamiltonianSimulationBenchmark(4, steps=1),
-    ]
+    """Representative instances matching the sample circuits shown in Fig. 1.
+
+    Built from the declarative :data:`repro.suite.FIGURE1_SPECS` through the
+    default registry, so instances (with their cached circuits and feature
+    vectors) are shared with every other consumer of the same specs.
+    """
+    # Importing repro.benchmarks populates the registry's family table.
+    from .. import benchmarks as _families  # noqa: F401
+
+    registry = get_registry()
+    return [registry.build(spec) for spec in FIGURE1_SPECS]
 
 
 def reproduce_figure1() -> List[Dict[str, object]]:

@@ -7,20 +7,71 @@ is possible but slow, so the driver exposes knobs (``small``, ``shots``,
 preserves the qualitative shape of the figure: scores fall with benchmark
 size, error-correction benchmarks suffer most on superconducting devices and
 the all-to-all trapped-ion model wins the communication-heavy benchmarks.
+
+The driver is a thin wrapper over the declarative suite layer: the instance
+list is :func:`repro.suite.figure2_scenario` and execution goes through
+:func:`repro.suite.run_scenario` (sharded per device, streaming aggregation,
+resumable partial results).  Scores at a fixed seed are identical to the
+historical hand-written loop — per-unit seeds depend only on the unit, not
+on the execution order.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from ..benchmarks import figure2_benchmarks
-from ..devices import all_devices, get_device
-from ..exceptions import BackendCapacityError, DeviceError
-from ..execution import Backend, BenchmarkRun, ExecutionEngine
+from ..execution import Backend, BenchmarkRun
+from ..suite import figure2_scenario
+from ..suite.results import SuiteResult, coerce_runs
+from ..suite.runner import run_scenario
 from .formatting import format_table
 
-__all__ = ["reproduce_figure2", "figure2_records", "render_figure2"]
+__all__ = [
+    "reproduce_figure2",
+    "reproduce_figure2_result",
+    "figure2_records",
+    "render_figure2",
+]
+
+
+def reproduce_figure2_result(
+    devices: Optional[Sequence[str]] = None,
+    small: bool = True,
+    shots: int = 250,
+    repetitions: int = 2,
+    trajectories: int | None = 40,
+    families: Optional[Sequence[str]] = None,
+    seed: int = 1234,
+    backend: Union[Backend, str, None] = None,
+    max_workers: int = 1,
+    optimization_level: int = 1,
+    placement: str = "noise_aware",
+    partial: Optional[SuiteResult] = None,
+) -> SuiteResult:
+    """Run the Fig. 2 sweep and return the full streaming suite result.
+
+    Same knobs as :func:`reproduce_figure2` plus ``partial`` — a previously
+    returned / persisted :class:`~repro.suite.results.SuiteResult` whose
+    completed units are skipped (resumable sweeps).
+    """
+    scenario = figure2_scenario(
+        small=small,
+        devices=devices,
+        families=families,
+        optimization_level=optimization_level,
+        placement=placement,
+        backend=backend if isinstance(backend, str) else None,
+    )
+    return run_scenario(
+        scenario,
+        shots=shots,
+        repetitions=repetitions,
+        seed=seed,
+        trajectories=trajectories,
+        max_workers=max_workers,
+        backend=backend if not isinstance(backend, str) else None,
+        partial=partial,
+    )
 
 
 def reproduce_figure2(
@@ -58,56 +109,36 @@ def reproduce_figure2(
         placement: Placement strategy (``"noise_aware"`` or ``"trivial"``)
             used by every engine — makes the noise-aware-vs-trivial mapping
             ablation selectable end-to-end.
+
+    Benchmarks that do not fit a device (the black "X" entries of Fig. 2) or
+    exceed the backend's capacity are skipped; use
+    :func:`reproduce_figure2_result` to see the skip records, per-run timing
+    and engine cache statistics alongside the runs.
     """
-    device_list = [get_device(name) for name in devices] if devices else all_devices()
-    instance_map = figure2_benchmarks(small=small)
-    if families is not None:
-        instance_map = {family: instance_map[family] for family in families}
-
-    engines = {
-        device.name: ExecutionEngine(
-            device,
-            backend=backend,
-            max_workers=max_workers,
-            optimization_level=optimization_level,
-            placement=placement,
-            trajectories=trajectories,
-        )
-        for device in device_list
-    }
-    runs: List[BenchmarkRun] = []
-    try:
-        for family, instances in instance_map.items():
-            for benchmark in instances:
-                for device in device_list:
-                    try:
-                        run = engines[device.name].run(
-                            benchmark, shots=shots, repetitions=repetitions, seed=seed
-                        )
-                    except BackendCapacityError as error:
-                        # Fits the device but not the backend (e.g. the
-                        # density-matrix width limit) — skip loudly so a
-                        # sparse sweep is explainable.
-                        warnings.warn(f"skipping {benchmark}: {error}", stacklevel=2)
-                        continue
-                    except DeviceError:
-                        # The black "X" entries of Fig. 2: instance too large for the device.
-                        continue
-                    runs.append(run)
-    finally:
-        for engine in engines.values():
-            engine.close()
-    return runs
+    return reproduce_figure2_result(
+        devices=devices,
+        small=small,
+        shots=shots,
+        repetitions=repetitions,
+        trajectories=trajectories,
+        families=families,
+        seed=seed,
+        backend=backend,
+        max_workers=max_workers,
+        optimization_level=optimization_level,
+        placement=placement,
+    ).runs()
 
 
-def figure2_records(runs: Iterable[BenchmarkRun]) -> List[Dict[str, float]]:
+def figure2_records(runs: Union[Iterable[BenchmarkRun], SuiteResult]) -> List[Dict[str, float]]:
     """Flatten runs into records consumable by the Fig. 3 correlation analysis."""
-    return [run.record() for run in runs]
+    return [run.record() for run in coerce_runs(runs)]
 
 
-def render_figure2(runs: Iterable[BenchmarkRun]) -> str:
+def render_figure2(runs: Union[Iterable[BenchmarkRun], SuiteResult]) -> str:
     """Human-readable score table (device x benchmark)."""
     rows = []
+    runs = coerce_runs(runs)
     for run in runs:
         rows.append(
             {

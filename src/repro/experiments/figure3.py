@@ -10,10 +10,11 @@ circuits are removed.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, Sequence, Union
 
 from ..analysis import correlation_matrix
 from ..features import FEATURE_NAMES, TYPICAL_FEATURE_NAMES
+from ..suite.results import SuiteResult, coerce_runs
 from .formatting import format_heatmap
 from .runner import BenchmarkRun
 
@@ -32,22 +33,27 @@ EC_FAMILIES = ("bit_code", "phase_code")
 
 
 def reproduce_figure3(
-    runs: Iterable[BenchmarkRun], include_error_correction: bool = True
+    runs: Union[Iterable[BenchmarkRun], SuiteResult], include_error_correction: bool = True
 ) -> Dict[str, Dict[str, float]]:
     """R² heat map ``{device: {feature: r2}}`` from Fig. 2 run data.
 
     Args:
-        runs: Output of :func:`repro.experiments.figure2.reproduce_figure2`.
+        runs: Output of :func:`repro.experiments.figure2.reproduce_figure2`
+            (a run list) or of the scenario-level
+            :func:`~repro.experiments.figure2.reproduce_figure2_result`
+            (a :class:`~repro.suite.results.SuiteResult`).
         include_error_correction: ``True`` reproduces Fig. 3(a); ``False``
             drops the bit/phase-code runs and reproduces Fig. 3(b).
     """
-    records = [run.record() for run in runs]
+    records = [run.record() for run in coerce_runs(runs)]
     if not include_error_correction:
         records = [record for record in records if record["family"] not in EC_FAMILIES]
     return correlation_matrix(records, ALL_REGRESSION_FEATURES)
 
 
-def render_figure3(runs: Iterable[BenchmarkRun], include_error_correction: bool = True) -> str:
+def render_figure3(
+    runs: Union[Iterable[BenchmarkRun], SuiteResult], include_error_correction: bool = True
+) -> str:
     """Human-readable R² heat map."""
     matrix = reproduce_figure3(runs, include_error_correction=include_error_correction)
     return format_heatmap(matrix, ALL_REGRESSION_FEATURES)

@@ -9,9 +9,10 @@ for both fits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Iterable, List, Tuple, Union
 
 from ..analysis import LinearFit, linear_regression
+from ..suite.results import SuiteResult, coerce_runs
 from .figure3 import EC_FAMILIES
 from .runner import BenchmarkRun
 
@@ -36,13 +37,13 @@ class Figure4Result:
 
 
 def reproduce_figure4(
-    runs: Iterable[BenchmarkRun],
+    runs: Union[Iterable[BenchmarkRun], SuiteResult],
     device: str = "IBM-Toronto-27Q",
     feature: str = "entanglement_ratio",
 ) -> Figure4Result:
     """Build the Fig. 4 scatter/regression data for one device."""
     points: List[Tuple[float, float, str]] = []
-    for run in runs:
+    for run in coerce_runs(runs):
         if run.device != device:
             continue
         points.append((run.features[feature], run.mean_score, run.family))

@@ -22,18 +22,18 @@ benchmarks, whose mid-circuit measurements are not invertible.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..benchmarks import figure2_benchmarks
-from ..devices import all_devices, get_device
-from ..exceptions import BackendCapacityError, DeviceError, MitigationError
-from ..execution import Backend, BenchmarkRun, ExecutionEngine
-from ..mitigation import Mitigator, is_raw_spec, resolve_mitigator
+from ..execution import Backend, BenchmarkRun
+from ..mitigation import Mitigator
+from ..suite import mitigated_scenario
+from ..suite.results import SuiteResult, coerce_runs
+from ..suite.runner import run_scenario
 from .formatting import format_table
 
 __all__ = [
     "reproduce_mitigated_scores",
+    "reproduce_mitigated_scores_result",
     "mitigated_records",
     "render_mitigated_scores",
 ]
@@ -75,65 +75,80 @@ def reproduce_mitigated_scores(
         technique); :attr:`BenchmarkRun.mitigation` holds the technique name
         (empty for raw).
     """
-    device_list = [get_device(name) for name in devices] if devices else all_devices()
-    instance_map = figure2_benchmarks(small=small)
-    if families is not None:
-        instance_map = {family: instance_map[family] for family in families}
-    # Resolve the technique specs up front: an unknown name is a
-    # configuration error and must raise here, not be swallowed by the
-    # per-benchmark mismatch handler below.
-    resolved: List[Union[str, Mitigator, None]] = [
-        technique if is_raw_spec(technique) else resolve_mitigator(technique)
-        for technique in techniques
-    ]
-
-    runs: List[BenchmarkRun] = []
-    for device in device_list:
-        with ExecutionEngine(
-            device,
-            backend=backend,
-            max_workers=max_workers,
-            optimization_level=optimization_level,
-            placement=placement,
-            trajectories=trajectories,
-        ) as engine:
-            for instances in instance_map.values():
-                for benchmark in instances:
-                    for technique in resolved:
-                        try:
-                            run = engine.run(
-                                benchmark,
-                                shots=shots,
-                                repetitions=repetitions,
-                                seed=seed,
-                                mitigation=technique,
-                            )
-                        except MitigationError as error:
-                            # Technique / benchmark mismatch (e.g. ZNE on the
-                            # mid-circuit-measurement error-correction codes).
-                            warnings.warn(
-                                f"skipping {technique} on {benchmark}: {error}",
-                                stacklevel=2,
-                            )
-                            continue
-                        except BackendCapacityError as error:
-                            warnings.warn(f"skipping {benchmark}: {error}", stacklevel=2)
-                            break
-                        except DeviceError:
-                            # Instance too large for the device (Fig. 2's "X").
-                            break
-                        runs.append(run)
-    return runs
+    return reproduce_mitigated_scores_result(
+        devices=devices,
+        techniques=techniques,
+        small=small,
+        shots=shots,
+        repetitions=repetitions,
+        trajectories=trajectories,
+        families=families,
+        seed=seed,
+        backend=backend,
+        max_workers=max_workers,
+        optimization_level=optimization_level,
+        placement=placement,
+    ).runs()
 
 
-def mitigated_records(runs: Iterable[BenchmarkRun]) -> List[Dict[str, object]]:
+def reproduce_mitigated_scores_result(
+    devices: Optional[Sequence[str]] = None,
+    techniques: Sequence[Union[str, Mitigator]] = DEFAULT_TECHNIQUES,
+    small: bool = True,
+    shots: int = 250,
+    repetitions: int = 2,
+    trajectories: Optional[int] = 40,
+    families: Optional[Sequence[str]] = None,
+    seed: int = 1234,
+    backend: Union[Backend, str, None] = None,
+    max_workers: int = 1,
+    optimization_level: int = 1,
+    placement: str = "noise_aware",
+    partial: Optional[SuiteResult] = None,
+) -> SuiteResult:
+    """The technique sweep as a streaming, resumable suite result.
+
+    Execution is sharded per device through one shared
+    :class:`~repro.execution.ExecutionEngine`, so calibration jobs are
+    shared across every benchmark landing on the same physical qubits and
+    compiled circuits are shared across techniques via the transpile cache —
+    the engine's cache statistics are recorded per shard on the returned
+    result.  Unknown technique names raise before anything executes;
+    technique/benchmark mismatches (e.g. ZNE on the mid-circuit-measurement
+    error-correction codes) are skipped loudly and recorded as skip
+    outcomes.
+    """
+    scenario = mitigated_scenario(
+        techniques=techniques,
+        small=small,
+        devices=devices,
+        families=families,
+        optimization_level=optimization_level,
+        placement=placement,
+        backend=backend if isinstance(backend, str) else None,
+    )
+    return run_scenario(
+        scenario,
+        shots=shots,
+        repetitions=repetitions,
+        seed=seed,
+        trajectories=trajectories,
+        max_workers=max_workers,
+        backend=backend if not isinstance(backend, str) else None,
+        partial=partial,
+    )
+
+
+def mitigated_records(
+    runs: Union[Iterable[BenchmarkRun], SuiteResult],
+) -> List[Dict[str, object]]:
     """Flatten runs into (benchmark, device) rows with one score per technique.
 
     Each row carries ``score_<technique>`` columns (``score_raw`` for the
     baseline) plus ``best`` — the technique with the highest mean score.
     """
     table: Dict[Tuple[str, str], Dict[str, object]] = {}
-    for run in runs:
+    for run in coerce_runs(runs):
         row = table.setdefault(
             (run.benchmark, run.device),
             {"benchmark": run.benchmark, "device": run.device},
@@ -156,7 +171,7 @@ def mitigated_records(runs: Iterable[BenchmarkRun]) -> List[Dict[str, object]]:
     return [table[key] for key in sorted(table)]
 
 
-def render_mitigated_scores(runs: Iterable[BenchmarkRun]) -> str:
+def render_mitigated_scores(runs: Union[Iterable[BenchmarkRun], SuiteResult]) -> str:
     """Human-readable raw-vs-mitigated score table."""
     rows = []
     for record in mitigated_records(runs):

@@ -3,8 +3,11 @@
 from .features import (
     FEATURE_NAMES,
     TYPICAL_FEATURE_NAMES,
+    CircuitProfile,
     FeatureVector,
+    circuit_profile,
     compute_features,
+    compute_features_many,
     critical_depth,
     entanglement_ratio,
     feature_vector,
@@ -18,8 +21,11 @@ from .features import (
 __all__ = [
     "FEATURE_NAMES",
     "TYPICAL_FEATURE_NAMES",
+    "CircuitProfile",
+    "circuit_profile",
     "FeatureVector",
     "compute_features",
+    "compute_features_many",
     "feature_vector",
     "program_communication",
     "critical_depth",

@@ -1,0 +1,251 @@
+"""Streaming, resumable suite results.
+
+:class:`SuiteResult` accumulates one :class:`SpecOutcome` per executed
+:class:`~repro.suite.sweep.RunUnit` as the runner streams them in, keyed on
+the unit's stable key so a persisted partial result can be reloaded and the
+remaining units executed without repeating finished work (crash-resumable
+sweeps).  Alongside the per-spec scores and feature vectors it aggregates
+per-engine wall time and transpile/calibration cache statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ..exceptions import AnalysisError
+from ..execution.results import BenchmarkRun
+
+__all__ = ["SpecOutcome", "SuiteResult", "coerce_runs"]
+
+
+def coerce_runs(runs) -> List[BenchmarkRun]:
+    """Normalise a run collection: a :class:`SuiteResult` or an iterable of
+    :class:`BenchmarkRun` becomes a plain run list.
+
+    The single adapter behind every experiment driver that accepts either
+    form (``figure2_records``, the Fig. 3/4 reproductions, ...).
+    """
+    if isinstance(runs, SuiteResult):
+        return runs.runs()
+    return list(runs)
+
+
+@dataclass
+class SpecOutcome:
+    """The result of one run unit: an executed run, or a recorded skip.
+
+    Attributes:
+        key: The unit's stable identity (``spec|engine|mitigation``).
+        spec: The benchmark spec as a JSON-friendly dict.
+        device: Device name.
+        mitigation: Technique label (``"raw"`` for unmitigated).
+        index: Position in the scenario's canonical expansion order.
+        status: ``"ok"`` or ``"skipped"``.
+        reason: Skip reason (empty for executed units).
+        run: The :class:`BenchmarkRun` (``None`` for skips).
+        seconds: Wall time of the unit (0.0 for skips).
+    """
+
+    key: str
+    spec: Dict[str, Any]
+    device: str
+    mitigation: str
+    index: int
+    status: str = "ok"
+    reason: str = ""
+    run: Optional[BenchmarkRun] = None
+    seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpecOutcome":
+        payload = dict(data)
+        run = payload.get("run")
+        if run is not None:
+            payload["run"] = BenchmarkRun(**run)
+        return cls(**payload)
+
+
+class SuiteResult:
+    """Streaming aggregation of a scenario's outcomes.
+
+    The container is append-only: the runner calls :meth:`add` as each unit
+    finishes, optional observers see every outcome immediately, and
+    :meth:`to_json` / :meth:`from_json` round-trip the full state for
+    resumable execution (see :func:`repro.suite.runner.run_scenario`'s
+    ``partial`` argument).
+    """
+
+    def __init__(self, scenario: str = "") -> None:
+        self.scenario = scenario
+        #: The execution knobs the outcomes were produced with (recorded by
+        #: the runner; resuming with different knobs is rejected).
+        self.config: Dict[str, Any] = {}
+        self._outcomes: Dict[str, SpecOutcome] = {}
+        self.engine_stats: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # accumulation
+    # ------------------------------------------------------------------
+    def add(self, outcome: SpecOutcome) -> None:
+        """Record one outcome (last write wins for a repeated key)."""
+        self._outcomes[outcome.key] = outcome
+
+    def bind_config(self, scenario: str, config: Mapping[str, Any]) -> None:
+        """Pin the scenario name and execution knobs the outcomes belong to.
+
+        Raises:
+            AnalysisError: when the result already carries a different
+                scenario name or knob values — resuming a persisted partial
+                under a different configuration would silently present stale
+                scores as the new configuration's results.
+        """
+        if self.scenario and self.scenario != scenario:
+            raise AnalysisError(
+                f"partial results belong to scenario {self.scenario!r}, "
+                f"cannot resume scenario {scenario!r}"
+            )
+        self.scenario = scenario
+        mismatched = {
+            key: (self.config[key], value)
+            for key, value in config.items()
+            if key in self.config and self.config[key] != value
+        }
+        if mismatched:
+            detail = ", ".join(
+                f"{key}: recorded {old!r} != requested {new!r}"
+                for key, (old, new) in sorted(mismatched.items())
+            )
+            raise AnalysisError(f"partial results were produced with different knobs — {detail}")
+        self.config.update(config)
+
+    def note_engine_stats(self, engine_key: str, stats: Mapping[str, int]) -> None:
+        """Attach an engine's cache statistics.
+
+        Repeat shards (a resumed sweep re-running a shard's remainder on a
+        fresh engine) merge counters (hits/misses) by summing — the
+        aggregate reflects the total work across both executions — while
+        occupancy gauges (``entries`` / ``calibration_entries``) take the
+        maximum, since each execution's cache held its own distinct set.
+        """
+        merged = dict(self.engine_stats.get(engine_key, {}))
+        for key, value in stats.items():
+            if key.endswith("entries"):
+                merged[key] = max(merged.get(key, 0), value)
+            else:
+                merged[key] = merged.get(key, 0) + value
+        self.engine_stats[engine_key] = merged
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._outcomes
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def completed_keys(self) -> frozenset:
+        """Keys of every recorded unit (executed and skipped)."""
+        return frozenset(self._outcomes)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def outcomes(self) -> List[SpecOutcome]:
+        """All outcomes ordered by the scenario's canonical expansion order."""
+        return sorted(self._outcomes.values(), key=lambda outcome: outcome.index)
+
+    def runs(self) -> List[BenchmarkRun]:
+        """Executed runs in scenario order (skips excluded)."""
+        return [outcome.run for outcome in self.outcomes() if outcome.run is not None]
+
+    def skipped(self) -> List[SpecOutcome]:
+        return [outcome for outcome in self.outcomes() if outcome.status == "skipped"]
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Flat per-run records (scores + features), for the analysis layer."""
+        rows = []
+        for outcome in self.outcomes():
+            if outcome.run is None:
+                continue
+            row = outcome.run.record()
+            row["seconds"] = outcome.seconds
+            rows.append(row)
+        return rows
+
+    def scores(self) -> Dict[str, float]:
+        """Mean score per unit key (executed units only)."""
+        return {
+            outcome.key: outcome.run.mean_score
+            for outcome in self.outcomes()
+            if outcome.run is not None
+        }
+
+    def feature_vectors(self) -> Dict[str, Dict[str, float]]:
+        """The six SupermarQ features per executed spec key."""
+        from .spec import BenchmarkSpec
+
+        vectors: Dict[str, Dict[str, float]] = {}
+        for outcome in self.outcomes():
+            if outcome.run is not None:
+                spec_key = BenchmarkSpec.from_dict(outcome.spec).key()
+                vectors.setdefault(spec_key, outcome.run.features)
+        return vectors
+
+    def total_seconds(self) -> float:
+        """Summed wall time of every executed unit."""
+        return sum(outcome.seconds for outcome in self._outcomes.values())
+
+    # ------------------------------------------------------------------
+    # persistence (resumable partial results)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": 1,
+            "scenario": self.scenario,
+            "config": self.config,
+            "outcomes": [outcome.as_dict() for outcome in self.outcomes()],
+            "engine_stats": self.engine_stats,
+        }
+
+    def to_json(self, path: Union[str, pathlib.Path, None] = None) -> str:
+        """Serialize; when ``path`` is given the JSON is also written there."""
+        text = json.dumps(self.as_dict(), indent=1, sort_keys=True)
+        if path is not None:
+            pathlib.Path(path).write_text(text + "\n")
+        return text
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SuiteResult":
+        if data.get("schema") != 1:
+            raise AnalysisError(f"unsupported suite-result schema: {data.get('schema')!r}")
+        result = cls(scenario=data.get("scenario", ""))
+        result.config = dict(data.get("config", {}))
+        for outcome in data.get("outcomes", []):
+            result.add(SpecOutcome.from_dict(outcome))
+        for key, stats in data.get("engine_stats", {}).items():
+            result.note_engine_stats(key, stats)
+        return result
+
+    @classmethod
+    def from_json(cls, text_or_path: Union[str, pathlib.Path]) -> "SuiteResult":
+        """Load from a JSON string or a path to a JSON file."""
+        if isinstance(text_or_path, pathlib.Path):
+            text = text_or_path.read_text()
+        else:
+            text = str(text_or_path)
+            if not text.lstrip().startswith("{"):
+                text = pathlib.Path(text).read_text()
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        executed = sum(1 for o in self._outcomes.values() if o.status == "ok")
+        skipped = len(self._outcomes) - executed
+        return (
+            f"SuiteResult(scenario={self.scenario!r}, executed={executed}, "
+            f"skipped={skipped}, seconds={self.total_seconds():.2f})"
+        )

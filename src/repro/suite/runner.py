@@ -1,0 +1,199 @@
+"""Sharded scenario execution through the unified execution engine.
+
+:func:`run_scenario` is the single sweep-and-score loop the experiment
+drivers used to reimplement individually: it expands a declarative
+:class:`~repro.suite.sweep.Scenario`, groups the run units into per-engine
+shards, executes each shard through
+:meth:`~repro.execution.ExecutionEngine.run_suite` (one engine per shard, so
+transpile and calibration caches are shared across every benchmark and
+technique landing on a device) and streams
+:class:`~repro.suite.results.SpecOutcome` records into a
+:class:`~repro.suite.results.SuiteResult`.
+
+Resumability: pass a previously persisted :class:`SuiteResult` as
+``partial`` and every already-recorded unit is skipped — a crashed or
+interrupted sweep continues where it stopped.  Determinism: per-unit seeds
+are fixed functions of the batch seed exactly as in
+:meth:`ExecutionEngine.run`, so scores are independent of the sharded
+execution order and identical to a hand-written per-benchmark loop.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..devices import get_device
+from ..exceptions import BackendCapacityError, DeviceError, MitigationError
+from ..execution import Backend, ExecutionEngine
+from ..mitigation import is_raw_spec, resolve_mitigator
+from .registry import BenchmarkRegistry, get_registry
+from .results import SpecOutcome, SuiteResult
+from .sweep import RunUnit, Scenario, Shard
+
+__all__ = ["run_scenario"]
+
+
+def _validate_mitigations(scenario: Scenario) -> None:
+    """Resolve every technique spec up front: an unknown name is a
+    configuration error and must raise before any shard executes."""
+    for technique in scenario.mitigations:
+        if not is_raw_spec(technique):
+            resolve_mitigator(technique)
+
+
+def run_scenario(
+    scenario: Scenario,
+    shots: int = 1000,
+    repetitions: int = 3,
+    seed: Optional[int] = 1234,
+    devices: Optional[Sequence[str]] = None,
+    trajectories: Optional[int] = None,
+    max_workers: int = 1,
+    backend: Union[Backend, str, None] = None,
+    registry: Optional[BenchmarkRegistry] = None,
+    partial: Optional[SuiteResult] = None,
+    on_outcome: Optional[Callable[[SpecOutcome], None]] = None,
+    save_path=None,
+) -> SuiteResult:
+    """Execute a scenario shard-by-shard and stream the aggregated results.
+
+    Args:
+        scenario: The declarative sweep × execution-axis definition.
+        shots / repetitions / seed: Execution knobs passed to
+            :meth:`ExecutionEngine.run` for every unit (the same seed per
+            unit keeps scores independent of execution order).
+        devices: Override the scenario's device axis without rebuilding it.
+        trajectories: Trajectory count for name-constructed backends.
+        max_workers: Worker-pool size of each shard's engine.
+        backend: Backend *override* applied to every shard — needed when the
+            caller holds a backend instance, which cannot live inside a
+            (serializable) scenario.  When ``None`` each shard uses its
+            engine configuration's backend name.
+        registry: Benchmark registry used to build specs (default: global).
+        partial: A previously returned / persisted :class:`SuiteResult`;
+            units already recorded there are not re-executed (resume).
+        on_outcome: Streaming observer called with every
+            :class:`SpecOutcome` the moment it is recorded.
+        save_path: When given, the (cumulative) result is re-persisted to
+            this JSON file after every completed shard, so a crash loses at
+            most one shard of work.
+
+    Returns:
+        The :class:`SuiteResult` (the ``partial`` instance when resuming).
+    """
+    registry = registry if registry is not None else get_registry()
+    _validate_mitigations(scenario)
+    result = partial if partial is not None else SuiteResult(scenario=scenario.name)
+    # Pin the scenario and every score-affecting knob on the result: a
+    # persisted partial resumed under different settings must fail loudly
+    # instead of presenting stale scores as the new configuration's output
+    # (max_workers is excluded — scores are worker-count deterministic).
+    result.bind_config(
+        scenario.name,
+        {
+            "shots": shots,
+            "repetitions": repetitions,
+            "seed": seed,
+            "trajectories": trajectories,
+            "backend_override": getattr(backend, "name", backend),
+        },
+    )
+
+    for shard in scenario.shards(devices):
+        pending_groups = [
+            (mitigation, [unit for unit in units if unit.key() not in result])
+            for mitigation, units in shard.groups
+        ]
+        if not any(units for _, units in pending_groups):
+            continue
+        device = get_device(shard.engine.device)
+        with ExecutionEngine(
+            device,
+            backend=backend if backend is not None else shard.engine.backend,
+            max_workers=max_workers,
+            optimization_level=shard.engine.optimization_level,
+            placement=shard.engine.placement,
+            trajectories=trajectories,
+        ) as engine:
+            for mitigation, units in pending_groups:
+                if not units:
+                    continue
+                _run_group(
+                    engine, units, mitigation, registry, result, on_outcome,
+                    shots=shots, repetitions=repetitions, seed=seed,
+                )
+        # The caches remain readable after the pool shuts down.
+        result.note_engine_stats(shard.engine.key(), engine.stats())
+        if save_path is not None:
+            result.to_json(save_path)
+    return result
+
+
+def _run_group(
+    engine: ExecutionEngine,
+    units: Sequence[RunUnit],
+    mitigation: Any,
+    registry: BenchmarkRegistry,
+    result: SuiteResult,
+    on_outcome: Optional[Callable[[SpecOutcome], None]],
+    shots: int,
+    repetitions: int,
+    seed: Optional[int],
+) -> None:
+    """Execute one shard group (single technique) through ``run_suite``."""
+    benchmarks = [unit.spec.build(registry) for unit in units]
+    # run_suite fires exactly one callback (result or skip) per benchmark, in
+    # submission order; matching by position rather than object identity
+    # stays correct when the registry hands back one memoized instance for
+    # duplicate specs.
+    cursor = iter(units)
+
+    def record(outcome: SpecOutcome) -> None:
+        result.add(outcome)
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    def on_result(benchmark, run) -> None:
+        unit = next(cursor)
+        record(
+            SpecOutcome(
+                key=unit.key(),
+                spec=unit.spec.as_dict(),
+                device=engine.device.name,
+                mitigation=unit.mitigation_label,
+                index=unit.index,
+                status="ok",
+                run=run,
+                seconds=run.seconds,
+            )
+        )
+
+    def on_skip(benchmark, error) -> None:
+        unit = next(cursor)
+        if isinstance(error, (MitigationError, BackendCapacityError)):
+            # Technique/benchmark mismatches and backend capacity limits are
+            # surfaced loudly so a sparse sweep is explainable; plain
+            # oversized-circuit skips are the expected "X" entries of Fig. 2.
+            warnings.warn(f"skipping {benchmark}: {error}", stacklevel=2)
+        record(
+            SpecOutcome(
+                key=unit.key(),
+                spec=unit.spec.as_dict(),
+                device=engine.device.name,
+                mitigation=unit.mitigation_label,
+                index=unit.index,
+                status="skipped",
+                reason=str(error),
+            )
+        )
+
+    engine.run_suite(
+        benchmarks,
+        shots=shots,
+        repetitions=repetitions,
+        seed=seed,
+        mitigation=mitigation,
+        on_result=on_result,
+        on_skip=on_skip,
+    )

@@ -1,0 +1,117 @@
+"""Hashable, JSON-serializable benchmark specifications.
+
+A :class:`BenchmarkSpec` names a benchmark *family* plus the constructor
+parameters of one instance — ``("ghz", num_qubits=5)`` — without building
+the (potentially expensive) benchmark object.  Specs are the currency of the
+suite layer: sweeps expand to specs, scenario results are keyed on specs,
+and circuit construction is deferred until a spec is actually executed and
+memoized per spec in the :class:`~repro.suite.registry.BenchmarkRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Tuple
+
+from ..exceptions import BenchmarkError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..benchmarks.base import Benchmark
+
+__all__ = ["BenchmarkSpec"]
+
+
+def _freeze(value: Any) -> Any:
+    """Normalise a parameter value into a hashable, JSON-stable form."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise BenchmarkError(
+        f"benchmark spec parameters must be JSON-representable scalars or "
+        f"sequences, got {type(value).__name__}: {value!r}"
+    )
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of :func:`_freeze` for constructor consumption (tuples -> lists)."""
+    if isinstance(value, tuple):
+        return [_thaw(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """An immutable (family, parameters) pair identifying one benchmark instance.
+
+    Attributes:
+        family: Registered family name, e.g. ``"ghz"``.
+        params: Sorted ``(name, value)`` pairs of constructor keyword
+            arguments.  Use :meth:`make` rather than building the tuple by
+            hand so values are normalised and ordering is canonical.
+    """
+
+    family: str
+    params: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    @classmethod
+    def make(cls, family: str, **params: Any) -> "BenchmarkSpec":
+        """Build a spec from keyword parameters (the canonical constructor)."""
+        frozen = tuple(sorted((name, _freeze(value)) for name, value in params.items()))
+        return cls(family=family, params=frozen)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def as_kwargs(self) -> Dict[str, Any]:
+        """The parameters as constructor keyword arguments."""
+        return {name: _thaw(value) for name, value in self.params}
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly mapping form ``{"family": ..., "params": {...}}``."""
+        return {"family": self.family, "params": {name: value for name, value in self.params}}
+
+    def key(self) -> str:
+        """Canonical string identity, e.g. ``"ghz(num_qubits=5)"``.
+
+        Stable across processes (parameters are sorted by name), so it can
+        key persisted partial results for resumable suite runs.
+        """
+        inner = ",".join(f"{name}={value!r}" for name, value in self.params)
+        return f"{self.family}({inner})"
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchmarkSpec":
+        return cls.make(data["family"], **dict(data.get("params", {})))
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchmarkSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(self, registry=None) -> "Benchmark":
+        """The benchmark instance for this spec, memoized in the registry.
+
+        Args:
+            registry: A :class:`~repro.suite.registry.BenchmarkRegistry`;
+                defaults to the global default registry.
+        """
+        if registry is None:
+            from .registry import get_registry
+
+            registry = get_registry()
+        return registry.build(self)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.key()

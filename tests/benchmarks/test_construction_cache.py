@@ -1,0 +1,86 @@
+"""Regression tests: benchmark circuits are constructed exactly once.
+
+The experiment drivers historically rebuilt identical circuits three times
+per run — once for transpilation, once for scoring and once for feature
+extraction.  ``Benchmark.circuits()`` / ``circuit()`` / ``features()`` now
+cache on the instance, and the registry memoizes instances per spec, so one
+spec means one construction per process.
+"""
+
+import pytest
+
+from repro.benchmarks import GHZBenchmark, VanillaQAOABenchmark
+from repro.devices import get_device
+from repro.execution import ExecutionEngine
+from repro.features import FeatureVector
+from repro.suite import BenchmarkRegistry
+
+
+class CountingGHZ(GHZBenchmark):
+    def __init__(self, num_qubits):
+        super().__init__(num_qubits)
+        self.builds = 0
+
+    def _build_circuits(self):
+        self.builds += 1
+        return super()._build_circuits()
+
+
+class TestInstanceCaching:
+    def test_circuits_built_once(self):
+        benchmark = CountingGHZ(4)
+        first = benchmark.circuits()
+        second = benchmark.circuits()
+        assert benchmark.builds == 1
+        assert first == second
+        # Callers get a fresh list (mutating it cannot corrupt the cache)...
+        first.clear()
+        assert len(benchmark.circuits()) == 1
+
+    def test_circuit_and_features_share_the_construction(self):
+        benchmark = CountingGHZ(4)
+        benchmark.circuit()
+        benchmark.features()
+        benchmark.describe()
+        assert benchmark.builds == 1
+
+    def test_features_cached(self):
+        benchmark = GHZBenchmark(4)
+        assert benchmark.features() is benchmark.features()
+        assert isinstance(benchmark.features(), FeatureVector)
+
+    def test_invalidate_cache_rebuilds(self):
+        benchmark = CountingGHZ(4)
+        benchmark.circuits()
+        benchmark.invalidate_cache()
+        benchmark.circuits()
+        assert benchmark.builds == 2
+
+    def test_qaoa_representative_cached_without_optimisation(self):
+        """The QAOA representative circuit must not trigger the classical
+        parameter optimisation, and must be cached."""
+        benchmark = VanillaQAOABenchmark(4)
+        assert benchmark.circuit() is benchmark.circuit()
+        assert benchmark._parameters is None  # optimisation not triggered
+
+
+class TestExactlyOneConstructionPerRun:
+    def test_engine_run_builds_circuits_exactly_once(self):
+        """engine.run transpiles, scores and extracts features from one
+        construction (the satellite's regression guard)."""
+        benchmark = CountingGHZ(3)
+        with ExecutionEngine(get_device("IonQ-11Q"), trajectories=8) as engine:
+            run = engine.run(benchmark, shots=40, repetitions=2, seed=5)
+        assert benchmark.builds == 1
+        assert len(run.scores) == 2
+        assert run.features["critical_depth"] == pytest.approx(1.0)
+
+    def test_one_construction_per_spec_across_suite_runs(self):
+        """Through the registry, repeated sweeps share one construction."""
+        registry = BenchmarkRegistry()
+        registry.register("counting_ghz")(CountingGHZ)
+        spec = registry.spec("counting_ghz", num_qubits=3)
+        with ExecutionEngine(get_device("IonQ-11Q"), trajectories=8) as engine:
+            for _ in range(3):
+                engine.run(registry.build(spec), shots=20, repetitions=1, seed=5)
+        assert registry.build(spec).builds == 1

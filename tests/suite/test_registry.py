@@ -1,0 +1,134 @@
+"""Tests for the benchmark registry, specs and the did-you-mean errors."""
+
+import pytest
+
+from repro.benchmarks import Benchmark, GHZBenchmark, make_benchmark
+from repro.exceptions import BenchmarkError, UnknownBenchmarkError
+from repro.suite import BenchmarkRegistry, BenchmarkSpec, get_registry
+
+
+class TestRegistry:
+    def test_default_registry_has_all_eight_families(self):
+        assert set(get_registry().families()) == {
+            "ghz",
+            "mermin_bell",
+            "bit_code",
+            "phase_code",
+            "vanilla_qaoa",
+            "zzswap_qaoa",
+            "vqe",
+            "hamiltonian_simulation",
+        }
+
+    def test_register_decorator_and_build(self):
+        registry = BenchmarkRegistry()
+
+        @registry.register("toy")
+        class ToyBenchmark(GHZBenchmark):
+            name = "toy"
+
+        spec = registry.spec("toy", num_qubits=3)
+        built = registry.build(spec)
+        assert isinstance(built, ToyBenchmark)
+
+    def test_duplicate_registration_rejected_without_overwrite(self):
+        registry = BenchmarkRegistry()
+
+        @registry.register("dup")
+        class First(GHZBenchmark):
+            pass
+
+        with pytest.raises(BenchmarkError, match="already registered"):
+
+            @registry.register("dup")
+            class Second(GHZBenchmark):
+                pass
+
+        @registry.register("dup", overwrite=True)
+        class Third(GHZBenchmark):
+            pass
+
+        assert registry.family("dup") is Third
+
+    def test_unknown_family_raises_with_suggestion(self):
+        with pytest.raises(UnknownBenchmarkError, match="did you mean 'ghz'"):
+            get_registry().family("gzh")
+
+    def test_unknown_family_is_a_keyerror(self):
+        """Callers of the historical make_benchmark API caught KeyError."""
+        with pytest.raises(KeyError):
+            make_benchmark("no_such_family")
+        with pytest.raises(UnknownBenchmarkError):
+            make_benchmark("no_such_family")
+
+    def test_make_benchmark_builds_instances(self):
+        benchmark = make_benchmark("ghz", 4)
+        assert isinstance(benchmark, GHZBenchmark)
+        assert benchmark.num_qubits() == 4
+
+    def test_build_is_memoized_per_spec(self):
+        registry = get_registry()
+        spec = BenchmarkSpec.make("ghz", num_qubits=6)
+        first = registry.build(spec)
+        second = registry.build(BenchmarkSpec.make("ghz", num_qubits=6))
+        assert first is second
+        other = registry.build(BenchmarkSpec.make("ghz", num_qubits=7))
+        assert other is not first
+
+    def test_features_memoized_per_spec(self):
+        registry = get_registry()
+        spec = BenchmarkSpec.make("ghz", num_qubits=6)
+        assert registry.features(spec) is registry.features(spec)
+
+    def test_lazy_construction(self):
+        """Specs do not construct benchmarks until built."""
+        registry = BenchmarkRegistry()
+        constructed = []
+
+        @registry.register("lazy")
+        class LazyBenchmark(GHZBenchmark):
+            def __init__(self, num_qubits):
+                constructed.append(num_qubits)
+                super().__init__(num_qubits)
+
+        spec = registry.spec("lazy", num_qubits=3)
+        assert constructed == []
+        registry.build(spec)
+        assert constructed == [3]
+        registry.build(spec)
+        assert constructed == [3]
+
+
+class TestBenchmarkSpec:
+    def test_hashable_and_order_insensitive(self):
+        a = BenchmarkSpec.make("vqe", num_qubits=4, num_layers=1)
+        b = BenchmarkSpec.make("vqe", num_layers=1, num_qubits=4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_json_round_trip(self):
+        spec = BenchmarkSpec.make("bit_code", num_data_qubits=3, num_rounds=2)
+        assert BenchmarkSpec.from_json(spec.to_json()) == spec
+
+    def test_sequence_params_normalised(self):
+        a = BenchmarkSpec.make("bit_code", num_data_qubits=3, num_rounds=1, initial_state=[1, 0, 1])
+        b = BenchmarkSpec.make(
+            "bit_code", num_data_qubits=3, num_rounds=1, initial_state=(1, 0, 1)
+        )
+        assert a == b
+        built = a.build()
+        assert built.initial_state == (1, 0, 1)
+
+    def test_key_is_stable(self):
+        spec = BenchmarkSpec.make("ghz", num_qubits=5)
+        assert spec.key() == "ghz(num_qubits=5)"
+
+    def test_unserializable_param_rejected(self):
+        with pytest.raises(BenchmarkError, match="JSON-representable"):
+            BenchmarkSpec.make("ghz", num_qubits=object())
+
+    def test_build_uses_default_registry(self):
+        benchmark = BenchmarkSpec.make("ghz", num_qubits=4).build()
+        assert isinstance(benchmark, Benchmark)
+        assert str(benchmark) == "ghz[4q]"

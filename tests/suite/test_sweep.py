@@ -1,0 +1,132 @@
+"""Tests for declarative sweeps, scenarios, expansion and sharding."""
+
+import pytest
+
+from repro.exceptions import BenchmarkError
+from repro.suite import (
+    BenchmarkSpec,
+    EngineConfig,
+    Scenario,
+    Sweep,
+    figure2_scenario,
+    mitigated_scenario,
+)
+
+
+class TestSweep:
+    def test_grid_expansion_last_axis_fastest(self):
+        sweep = Sweep.of("bit_code", num_data_qubits=(3, 5), num_rounds=(2, 3))
+        assert [spec.as_kwargs() for spec in sweep.specs()] == [
+            {"num_data_qubits": 3, "num_rounds": 2},
+            {"num_data_qubits": 3, "num_rounds": 3},
+            {"num_data_qubits": 5, "num_rounds": 2},
+            {"num_data_qubits": 5, "num_rounds": 3},
+        ]
+
+    def test_explicit_points(self):
+        sweep = Sweep.explicit("ghz", [{"num_qubits": 3}, {"num_qubits": 11}])
+        assert [spec.as_kwargs() for spec in sweep.specs()] == [
+            {"num_qubits": 3},
+            {"num_qubits": 11},
+        ]
+
+    def test_grid_and_points_mutually_exclusive(self):
+        with pytest.raises(BenchmarkError):
+            Sweep(
+                family="ghz",
+                grid=(("num_qubits", (3,)),),
+                points=((("num_qubits", 5),),),
+            )
+
+    def test_empty_sweep_yields_parameterless_spec(self):
+        assert Sweep(family="ghz").specs() == [BenchmarkSpec(family="ghz")]
+
+    def test_json_round_trip(self):
+        sweep = Sweep.of("vqe", num_qubits=(4, 7), num_layers=(1, 2))
+        assert Sweep.from_dict(sweep.as_dict()) == sweep
+        explicit = Sweep.explicit("ghz", [{"num_qubits": 3}])
+        assert Sweep.from_dict(explicit.as_dict()) == explicit
+
+
+class TestScenario:
+    def _scenario(self, **kwargs):
+        defaults = dict(
+            name="test",
+            sweeps=(Sweep.of("ghz", num_qubits=(3, 5)),),
+            devices=("IBM-Casablanca-7Q", "IonQ-11Q"),
+        )
+        defaults.update(kwargs)
+        return Scenario(**defaults)
+
+    def test_expansion_is_spec_major(self):
+        units = self._scenario().expand()
+        assert [(u.spec.as_kwargs()["num_qubits"], u.engine.device) for u in units] == [
+            (3, "IBM-Casablanca-7Q"),
+            (3, "IonQ-11Q"),
+            (5, "IBM-Casablanca-7Q"),
+            (5, "IonQ-11Q"),
+        ]
+        assert [u.index for u in units] == [0, 1, 2, 3]
+
+    def test_mitigation_cross_product(self):
+        units = self._scenario(mitigations=("raw", "readout")).expand()
+        assert len(units) == 8
+        assert [u.mitigation_label for u in units[:2]] == ["raw", "readout"]
+
+    def test_shards_group_by_engine_and_share_across_techniques(self):
+        scenario = self._scenario(mitigations=("raw", "readout"))
+        shards = scenario.shards()
+        assert [shard.engine.device for shard in shards] == [
+            "IBM-Casablanca-7Q",
+            "IonQ-11Q",
+        ]
+        first = shards[0]
+        assert [label for label, _ in first.groups] == ["raw", "readout"]
+        # both specs of the sweep land in each technique group
+        assert all(len(group) == 2 for _, group in first.groups)
+
+    def test_device_override(self):
+        units = self._scenario().expand(devices=["AQT-4Q"])
+        assert {u.engine.device for u in units} == {"AQT-4Q"}
+
+    def test_empty_devices_resolve_to_all_registered(self):
+        scenario = self._scenario(devices=())
+        devices = {u.engine.device for u in scenario.expand()}
+        assert len(devices) == 9
+
+    def test_unit_keys_unique_and_stable(self):
+        units = self._scenario(mitigations=("raw", "zne")).expand()
+        keys = [u.key() for u in units]
+        assert len(set(keys)) == len(keys)
+        assert keys == [u.key() for u in self._scenario(mitigations=("raw", "zne")).expand()]
+
+    def test_json_round_trip(self):
+        scenario = self._scenario(mitigations=("raw", "readout"))
+        assert Scenario.from_dict(scenario.as_dict()) == scenario
+
+    def test_engine_config_key(self):
+        config = EngineConfig("IonQ-11Q", None, 2, "trivial")
+        assert config.key() == "IonQ-11Q/default/O2/trivial"
+
+
+class TestStandardScenarios:
+    def test_figure2_scenario_small_counts(self):
+        scenario = figure2_scenario(small=True, devices=["IonQ-11Q"])
+        assert scenario.name == "figure2"
+        assert len(scenario.specs()) == 9  # reduced set: 9 instances
+        assert len(scenario.expand()) == 9
+
+    def test_figure2_scenario_family_filter_order(self):
+        scenario = figure2_scenario(small=True, families=["vqe", "ghz"])
+        assert [sweep.family for sweep in scenario.sweeps] == ["vqe", "ghz"]
+
+    def test_figure2_scenario_unknown_family(self):
+        with pytest.raises(KeyError):
+            figure2_scenario(families=["bogus"])
+
+    def test_mitigated_scenario_axes(self):
+        scenario = mitigated_scenario(
+            techniques=("raw", "readout"), small=True, devices=["IonQ-11Q"]
+        )
+        assert scenario.mitigations == ("raw", "readout")
+        assert len(scenario.expand()) == 18
