@@ -1,0 +1,214 @@
+"""Result-store benchmarks and the committed perf baseline.
+
+Two targets:
+
+* ``warm_cache`` — one small Fig. 2 scenario executed cold (empty store,
+  every unit simulated and written back) and then warm (every unit answered
+  from the store).  The recorded ``speedup`` is the cold/warm wall-time
+  ratio — the whole point of content-addressed result caching — and the
+  warm pass is additionally asserted to dispatch **zero** backend
+  executions.
+* ``store_ops`` — raw put/get throughput of the sqlite store on a file
+  database (row payloads shaped like real ``BenchmarkRun`` rows), recorded
+  for trend tracking and floor-gated loosely.
+
+Running under pytest asserts the floors and — when ``BENCH_store.json``
+exists — that the warm-cache speedup has not regressed more than 30%
+against the committed baseline's ``gate_speedup`` (ratios, not absolute
+seconds, so the gate is meaningful across CI runners; the gate value is the
+measured speedup capped at a multiple of the floor, absorbing cross-machine
+variance).
+
+``REPRO_BENCH_QUICK=1`` shrinks the workload (used by the CI smoke job).
+Regenerate the committed baseline with::
+
+    PYTHONPATH=src python benchmarks/bench_store.py --write
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+from typing import Callable, Dict
+
+from repro.store import ResultStore
+from repro.suite import figure2_scenario
+from repro.suite.runner import run_scenario
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_store.json"
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+REGRESSION_TOLERANCE = 0.7
+
+MODE = "quick" if QUICK else "full"
+SUITE_DEVICES = {"full": ["IBM-Casablanca-7Q", "IonQ-11Q"], "quick": ["IonQ-11Q"]}
+SUITE_FAMILIES = {
+    "full": ["ghz", "bit_code", "hamiltonian_simulation", "vanilla_qaoa"],
+    "quick": ["ghz", "bit_code"],
+}
+OPS_ROWS = {"full": 2000, "quick": 300}
+KNOBS = dict(shots=60, repetitions=1, seed=17, trajectories=10)
+
+
+def _time(function: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-N wall time of ``function`` (no warmup — cold runs are real)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# measurements
+# ---------------------------------------------------------------------------
+
+
+def measure_warm_cache() -> Dict[str, float]:
+    """Cold scenario run vs fully-cached repeat against one store."""
+    scenario = figure2_scenario(
+        small=True, devices=SUITE_DEVICES[MODE], families=SUITE_FAMILIES[MODE]
+    )
+    with ResultStore() as store:
+        start = time.perf_counter()
+        cold_result = run_scenario(scenario, store=store, **KNOBS)
+        cold = time.perf_counter() - start
+
+        warm = _time(lambda: run_scenario(scenario, store=store, **KNOBS))
+        warm_result = run_scenario(scenario, store=store, **KNOBS)
+
+    executed = len(cold_result.runs())
+    warm_stats: Dict[str, int] = {}
+    for stats in warm_result.engine_stats.values():
+        for key, value in stats.items():
+            warm_stats[key] = warm_stats.get(key, 0) + value
+    assert executed > 0
+    # The acceptance invariant: a warm pass never touches the backend.
+    assert warm_stats["executions"] == 0, warm_stats
+    assert warm_stats["store_hits"] == executed, warm_stats
+    assert warm_result.scores() == cold_result.scores()
+    return {
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "speedup": cold / warm,
+        "units": executed,
+    }
+
+
+def measure_store_ops() -> Dict[str, float]:
+    """Raw sqlite put/get throughput on a file-backed store."""
+    rows = OPS_ROWS[MODE]
+    payload = {
+        "schema_version": 2,
+        "run": {"benchmark": "ghz[5q]", "scores": [0.9, 0.91], "shots": 100},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        with ResultStore(pathlib.Path(tmp) / "bench.sqlite") as store:
+            start = time.perf_counter()
+            for index in range(rows):
+                store.put(f"key-{index}", "run", payload)
+            put_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            for index in range(rows):
+                assert store.get(f"key-{index}", "run") is not None
+            get_seconds = time.perf_counter() - start
+    return {
+        "rows": rows,
+        "puts_per_second": rows / put_seconds,
+        "gets_per_second": rows / get_seconds,
+    }
+
+
+MEASUREMENTS = {
+    "warm_cache": measure_warm_cache,
+    "store_ops": measure_store_ops,
+}
+
+#: Hard acceptance floors.  A warm pass skips compilation and simulation
+#: entirely, so even a conservative floor is far above 1x; store ops must
+#: stay clearly out of the scenario hot path's way.
+SPEEDUP_FLOORS = {
+    "full": {"warm_cache": 3.0},
+    "quick": {"warm_cache": 3.0},
+}
+OPS_FLOOR_PER_SECOND = 500.0
+
+#: The baseline's gate value is the measured speedup capped at this multiple
+#: of the floor, absorbing cross-machine ratio variance.
+GATE_CAP_MULTIPLIER = 10.0
+
+
+def _baseline() -> Dict[str, Dict[str, float]] | None:
+    if not BASELINE_PATH.exists():
+        return None
+    data = json.loads(BASELINE_PATH.read_text())
+    return data.get("results", {}).get(MODE)
+
+
+def test_warm_cache_speedup():
+    result = measure_warm_cache()
+    floor = SPEEDUP_FLOORS[MODE]["warm_cache"]
+    print(
+        f"\nwarm_cache [{MODE}]: cold {result['cold_seconds']:.3f}s -> "
+        f"warm {result['warm_seconds']:.3f}s ({result['speedup']:.1f}x over "
+        f"{result['units']} units, floor {floor}x)"
+    )
+    assert result["speedup"] >= floor
+    baseline = _baseline()
+    if baseline and "warm_cache" in baseline:
+        committed = baseline["warm_cache"].get(
+            "gate_speedup", baseline["warm_cache"]["speedup"]
+        )
+        assert result["speedup"] >= REGRESSION_TOLERANCE * committed, (
+            f"warm_cache: speedup {result['speedup']:.1f}x regressed more than "
+            f"{(1 - REGRESSION_TOLERANCE):.0%} vs committed gate {committed:.1f}x"
+        )
+
+
+def test_store_ops_throughput():
+    result = measure_store_ops()
+    print(
+        f"\nstore_ops [{MODE}]: {result['puts_per_second']:.0f} puts/s, "
+        f"{result['gets_per_second']:.0f} gets/s over {result['rows']} rows"
+    )
+    assert result["puts_per_second"] >= OPS_FLOOR_PER_SECOND
+    assert result["gets_per_second"] >= OPS_FLOOR_PER_SECOND
+
+
+def write_baseline() -> None:
+    """Measure both modes and (re)write the committed baseline file."""
+    global MODE
+    results = {}
+    for mode in ("full", "quick"):
+        MODE = mode
+        results[mode] = {name: fn() for name, fn in sorted(MEASUREMENTS.items())}
+        warm = results[mode]["warm_cache"]
+        cap = GATE_CAP_MULTIPLIER * SPEEDUP_FLOORS[mode]["warm_cache"]
+        warm["gate_speedup"] = min(warm["speedup"], cap)
+        print(f"[{mode}] warm_cache: {warm['speedup']:.1f}x (gate {warm['gate_speedup']:.1f}x)")
+    payload = {
+        "schema": 1,
+        "note": (
+            "Committed result-store baseline. Regenerate with "
+            "`PYTHONPATH=src python benchmarks/bench_store.py --write`. "
+            "The CI gate compares speedup ratios (machine-independent), not "
+            "absolute seconds."
+        ),
+        "results": results,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" in sys.argv:
+        write_baseline()
+    else:
+        for bench_name, measure in sorted(MEASUREMENTS.items()):
+            outcome = measure()
+            print(f"{bench_name}: {outcome}")

@@ -8,9 +8,13 @@ This mirrors the paper's workflow end to end:
 3. compile it to a device from the Table II library (the Closed Division
    allows basis translation, noise-aware placement, routing, cancellation),
 4. execute it on the device's calibration-derived noise model,
-5. compute the application-level score (Hellinger fidelity for GHZ), and
+5. compute the application-level score (Hellinger fidelity for GHZ),
 6. mitigate the readout error through the execution engine and compare the
-   raw and mitigated scores (see docs/mitigation.md).
+   raw and mitigated scores (see docs/mitigation.md), and
+7. serve a cached figure: run a small Fig. 2 scenario through the
+   content-addressed result store twice — the repeat is answered from the
+   store with zero backend executions (see docs/store.md and
+   docs/service.md for the HTTP service on top).
 
 Run with:  python examples/quickstart.py
 """
@@ -66,6 +70,25 @@ def main() -> None:
             f"cache stats: transpile {stats['hits']}h/{stats['misses']}m, "
             f"calibration {stats['calibration_hits']}h/{stats['calibration_misses']}m"
         )
+
+    print("\n=== Serving a cached figure (content-addressed result store) ===")
+    from repro.store import ResultStore
+    from repro.suite import figure2_scenario
+    from repro.suite.runner import run_scenario
+
+    scenario = figure2_scenario(small=True, devices=["IonQ-11Q"], families=["ghz"])
+    knobs = dict(shots=250, repetitions=2, seed=1234, trajectories=40)
+    with ResultStore() as store:  # pass a path ("results.sqlite") to persist
+        cold = run_scenario(scenario, store=store, **knobs)
+        warm = run_scenario(scenario, store=store, **knobs)
+        assert warm.scores() == cold.scores()
+        warm_stats = next(iter(warm.engine_stats.values()))
+        print(f"cold pass: {len(cold.runs())} units simulated and stored")
+        print(
+            f"warm pass: {warm_stats['store_hits']} store hits, "
+            f"{warm_stats['executions']} backend executions — served from sqlite"
+        )
+        print("same store behind HTTP:  repro serve --store results.sqlite")
 
 
 if __name__ == "__main__":

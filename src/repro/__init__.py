@@ -52,7 +52,9 @@ from . import (
     mitigation,
     optimize,
     paulis,
+    service,
     simulation,
+    store,
     suite,
     transpiler,
 )
@@ -80,6 +82,7 @@ from .execution import (
 )
 from .features import compute_features, compute_features_many, feature_vector
 from .simulation import NoiseModel, StatevectorSimulator
+from .store import ResultStore
 from .suite import BenchmarkSpec, Scenario, Sweep, get_registry, register_family
 from .transpiler import PassManager, preset_pipeline, transpile
 
@@ -105,6 +108,7 @@ __all__ = [
     "register_family",
     "Backend",
     "ExecutionEngine",
+    "ResultStore",
     "Job",
     "TranspileCache",
     "StatevectorBackend",
@@ -131,7 +135,9 @@ __all__ = [
     "mitigation",
     "optimize",
     "paulis",
+    "service",
     "simulation",
+    "store",
     "suite",
     "transpiler",
 ]

@@ -88,3 +88,24 @@ def unknown_benchmark(family: str, known) -> UnknownBenchmarkError:
 
 class AnalysisError(ReproError):
     """Raised when an analysis routine receives unusable data."""
+
+
+class StoreError(ReproError):
+    """Raised when the content-addressed result store cannot serve a request
+    (corrupt database, unusable path, malformed persisted payload)."""
+
+
+class SchemaVersionError(StoreError, AnalysisError):
+    """Raised when a persisted payload (suite-result JSON, store row, store
+    database) carries a schema version this release does not understand.
+
+    Subclasses both :class:`StoreError` and :class:`AnalysisError`: store
+    rows and suite-result files share one payload schema, and callers of
+    either layer historically caught :class:`AnalysisError` for unreadable
+    result files.
+    """
+
+
+class ServiceError(ReproError):
+    """Raised by the benchmark service layer (job queue, REST surface) for
+    invalid submissions or lookups of unknown jobs."""

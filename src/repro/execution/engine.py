@@ -23,10 +23,11 @@ circuit's position, so results are bit-identical for ``max_workers=1`` and
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..benchmarks import Benchmark
 from ..circuits import Circuit
@@ -40,6 +41,9 @@ from .backends import Backend, backend_metadata, circuit_seed, resolve_backend
 from .cache import CacheEntry, TranspileCache, circuit_fingerprint
 from .job import Job
 from .results import BenchmarkRun
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store import ResultStore
 
 __all__ = ["ExecutionEngine", "REPETITION_STRIDE"]
 
@@ -72,6 +76,11 @@ class ExecutionEngine:
         calibration_cache: Optional shared
             :class:`~repro.mitigation.CalibrationCache` holding mitigation
             calibration data; a private cache is created when omitted.
+        store: Optional :class:`~repro.store.ResultStore`; when set,
+            :meth:`run_suite` consults it under each benchmark's content key
+            before simulating and writes every produced
+            :class:`BenchmarkRun` back (read-through caching; overridable
+            per call).
         trajectories: Trajectory count for backends constructed here from a
             name (or the default); ignored when ``backend`` is an instance.
 
@@ -89,6 +98,7 @@ class ExecutionEngine:
         mitigation: Union[Mitigator, str, None] = None,
         cache: Optional[TranspileCache] = None,
         calibration_cache: Optional[CalibrationCache] = None,
+        store: Optional["ResultStore"] = None,
         trajectories: Optional[int] = None,
     ) -> None:
         if max_workers < 1:
@@ -108,7 +118,19 @@ class ExecutionEngine:
         self.calibration_cache = (
             calibration_cache if calibration_cache is not None else CalibrationCache()
         )
+        self.store = store
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._counter_lock = threading.Lock()
+        self._executions = 0
+        # Engine-local store traffic (a store may be shared across engines;
+        # these count only this engine's lookups, so per-engine stats compose
+        # correctly when the suite layer aggregates them shard by shard).
+        self._store_hits = 0
+        self._store_misses = 0
+        # (optimization_level, placement) -> (pipeline fingerprint, noise
+        # fingerprint): the per-engine half of the store content key, computed
+        # lazily once per placement strategy actually used.
+        self._content_fingerprints: Dict[Tuple[int, str], Tuple[str, str]] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -276,7 +298,68 @@ class ExecutionEngine:
         )
 
     def _run_one(self, compact: Circuit, shots: int, noise, seed: Optional[int]) -> Counts:
+        with self._counter_lock:
+            self._executions += 1
         return self.backend.run_batch([compact], shots, noise_model=[noise], seed=seed)[0]
+
+    # ------------------------------------------------------------------
+    # content-addressed result caching
+    # ------------------------------------------------------------------
+    def _fingerprints_for(self, placement: str) -> Tuple[str, str]:
+        """(pipeline fingerprint, noise fingerprint) of this engine + placement.
+
+        The pipeline fingerprint captures every compilation knob (preset
+        level, placement strategy, device presets); the noise fingerprint is
+        the whole-device model's (``"ideal"`` for noise-free backends).  Both
+        are computed without transpiling anything, so a store hit never
+        touches the compiler.
+        """
+        cache_key = (self.optimization_level, placement)
+        cached = self._content_fingerprints.get(cache_key)
+        if cached is None:
+            from ..transpiler import preset_pipeline
+
+            pipeline = preset_pipeline(
+                self.device, optimization_level=self.optimization_level, placement=placement
+            )
+            noise = self.device.noise_model().fingerprint() if self.backend.noisy else "ideal"
+            cached = (pipeline.fingerprint, noise)
+            self._content_fingerprints[cache_key] = cached
+        return cached
+
+    def content_key(
+        self,
+        benchmark: Union[Benchmark, str],
+        shots: int,
+        repetitions: int,
+        seed: Optional[int],
+        placement: Optional[str] = None,
+        mitigation: Union[Mitigator, str, None] = None,
+    ) -> str:
+        """Canonical store key of one benchmark execution on this engine.
+
+        Hashes everything the resulting scores depend on — spec identity,
+        device, backend configuration, pipeline and noise fingerprints,
+        mitigation technique and the execution knobs (see
+        :mod:`repro.store.keys`).
+        """
+        from ..store.keys import content_key, mitigation_identity, spec_identity
+
+        strategy = self.placement if placement is None else placement
+        pipeline, noise = self._fingerprints_for(strategy)
+        mitigator = self._call_mitigator(mitigation)
+        spec = benchmark if isinstance(benchmark, str) else spec_identity(benchmark)
+        return content_key(
+            spec=spec,
+            device=self.device.name,
+            backend=backend_metadata(self.backend),
+            pipeline=pipeline,
+            noise=noise,
+            mitigation=mitigation_identity(mitigator),
+            shots=shots,
+            repetitions=repetitions,
+            seed=seed,
+        )
 
     # ------------------------------------------------------------------
     # error mitigation
@@ -503,6 +586,7 @@ class ExecutionEngine:
         mitigation: Union[Mitigator, str, None] = None,
         on_result: Optional[Callable[[Benchmark, BenchmarkRun], None]] = None,
         on_skip: Optional[Callable[[Benchmark, Exception], None]] = None,
+        store: Optional["ResultStore"] = None,
     ) -> List[BenchmarkRun]:
         """Run a collection of benchmarks on this engine's device.
 
@@ -512,6 +596,14 @@ class ExecutionEngine:
                 entries of Fig. 2.
             placement: Placement strategy for the whole suite; defaults to
                 the engine's :attr:`placement`.
+            store: Result store for this call; defaults to the engine's
+                :attr:`store`.  With a store attached, each benchmark's
+                content key is looked up first — a hit returns the persisted
+                :class:`BenchmarkRun` (zero compilation, zero backend
+                executions) and still fires ``on_result``; a miss simulates
+                and writes the run back.  Skips are not cached (they are
+                cheap to re-derive and device-capacity answers should track
+                the live configuration).
             mitigation: Error-mitigation technique for the whole suite;
                 defaults to the engine's :attr:`mitigation`.  Benchmarks
                 landing on the same physical qubits share calibration data
@@ -536,8 +628,26 @@ class ExecutionEngine:
         # back in.
         mitigator = self._call_mitigator(mitigation)
         resolved = mitigator if mitigator is not None else "raw"
+        store = store if store is not None else self.store
         runs: List[BenchmarkRun] = []
         for benchmark in benchmarks:
+            key = None
+            if store is not None:
+                key = self.content_key(
+                    benchmark, shots, repetitions, seed,
+                    placement=placement, mitigation=resolved,
+                )
+                cached = store.get_run(key)
+                with self._counter_lock:
+                    if cached is not None:
+                        self._store_hits += 1
+                    else:
+                        self._store_misses += 1
+                if cached is not None:
+                    runs.append(cached)
+                    if on_result is not None:
+                        on_result(benchmark, cached)
+                    continue
             try:
                 run = self.run(
                     benchmark,
@@ -562,31 +672,43 @@ class ExecutionEngine:
                     on_skip(benchmark, error)
             else:
                 runs.append(run)
+                if store is not None and key is not None:
+                    store.put_run(key, run)
                 if on_result is not None:
                     on_result(benchmark, run)
         return runs
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        """Transpile- and calibration-cache statistics.
+        """Transpile-, calibration- and result-store statistics.
 
         The transpile-cache counters keep their historical flat keys
         (``hits``, ``misses``, ``entries``); the calibration cache adds
         ``calibration_hits`` / ``calibration_misses`` /
-        ``calibration_entries``, so cache effectiveness of both layers is
-        observable in benchmarks from one call.
+        ``calibration_entries``; the result store adds ``store_hits`` /
+        ``store_misses`` (zero when no store is attached) and the backend
+        adds ``executions`` — the number of circuit executions actually
+        dispatched — so cache effectiveness of every layer is observable
+        from one call.
         """
         stats = dict(self.cache.stats())
         for key, value in self.calibration_cache.stats().items():
             stats[f"calibration_{key}"] = value
+        with self._counter_lock:
+            stats["store_hits"] = self._store_hits
+            stats["store_misses"] = self._store_misses
+            stats["executions"] = self._executions
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         transpile = self.cache.stats()
         calibration = self.calibration_cache.stats()
-        return (
+        text = (
             f"ExecutionEngine(device={self.device.name!r}, backend={self.backend.name!r}, "
             f"max_workers={self.max_workers}, "
             f"transpile_cache={transpile['hits']}h/{transpile['misses']}m, "
-            f"calibration_cache={calibration['hits']}h/{calibration['misses']}m)"
+            f"calibration_cache={calibration['hits']}h/{calibration['misses']}m"
         )
+        if self.store is not None:
+            text += f", store={self._store_hits}h/{self._store_misses}m"
+        return text + ")"

@@ -47,12 +47,15 @@ def reproduce_figure2_result(
     optimization_level: int = 1,
     placement: str = "noise_aware",
     partial: Optional[SuiteResult] = None,
+    store=None,
 ) -> SuiteResult:
     """Run the Fig. 2 sweep and return the full streaming suite result.
 
     Same knobs as :func:`reproduce_figure2` plus ``partial`` — a previously
     returned / persisted :class:`~repro.suite.results.SuiteResult` whose
-    completed units are skipped (resumable sweeps).
+    completed units are skipped (resumable sweeps) — and ``store`` — a
+    content-addressed :class:`~repro.store.ResultStore` answering repeated
+    runs from disk with zero backend executions.
     """
     scenario = figure2_scenario(
         small=small,
@@ -71,6 +74,7 @@ def reproduce_figure2_result(
         max_workers=max_workers,
         backend=backend if not isinstance(backend, str) else None,
         partial=partial,
+        store=store,
     )
 
 

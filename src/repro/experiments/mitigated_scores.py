@@ -105,6 +105,7 @@ def reproduce_mitigated_scores_result(
     optimization_level: int = 1,
     placement: str = "noise_aware",
     partial: Optional[SuiteResult] = None,
+    store=None,
 ) -> SuiteResult:
     """The technique sweep as a streaming, resumable suite result.
 
@@ -136,6 +137,7 @@ def reproduce_mitigated_scores_result(
         max_workers=max_workers,
         backend=backend if not isinstance(backend, str) else None,
         partial=partial,
+        store=store,
     )
 
 

@@ -1,0 +1,14 @@
+"""Benchmark service layer: job queue, REST surface and the ``repro`` CLI.
+
+The service turns the declarative suite layer into a long-running benchmark
+server: clients submit scenarios over HTTP (or enqueue them in-process via
+:class:`JobQueue`), worker threads execute them through
+:func:`~repro.suite.runner.run_scenario` with read-through caching against a
+shared content-addressed :class:`~repro.store.ResultStore`, and results
+stream back as NDJSON while the sweep runs.
+"""
+
+from .http import BenchmarkService, resolve_scenario
+from .jobs import JobQueue, JobRecord
+
+__all__ = ["BenchmarkService", "JobQueue", "JobRecord", "resolve_scenario"]

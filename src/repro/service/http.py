@@ -1,0 +1,309 @@
+"""Stdlib-only REST surface over the job queue and result store.
+
+:class:`BenchmarkService` wires a :class:`~repro.service.jobs.JobQueue` and
+an optional :class:`~repro.store.ResultStore` behind a
+:class:`http.server.ThreadingHTTPServer`.  The endpoint surface:
+
+========  ==========================  ==========================================
+Method    Path                        Behaviour
+========  ==========================  ==========================================
+GET       ``/healthz``                Liveness probe (``{"status": "ok"}``).
+GET       ``/stats``                  Queue + store + schema counters.
+POST      ``/scenarios``              Submit a scenario; ``202 {"job_id"}``.
+GET       ``/jobs``                   Snapshots of every job.
+GET       ``/jobs/<id>``              One job's status snapshot.
+DELETE    ``/jobs/<id>``              Cancel a queued/running job.
+GET       ``/jobs/<id>/outcomes``     NDJSON stream of the job's outcomes,
+                                      live while it runs.
+GET       ``/results``                Stored rows, filterable by
+                                      ``family/device/mitigation/scenario/
+                                      kind/limit``.
+========  ==========================  ==========================================
+
+``POST /scenarios`` accepts either a named scenario::
+
+    {"scenario": "figure2", "options": {"small": true},
+     "knobs": {"shots": 100, "seed": 7, "devices": ["IonQ-11Q"]}}
+
+(names: ``figure2``, ``mitigated``) or a full declarative definition under
+``"definition"`` (the :meth:`Scenario.as_dict` shape).  ``knobs`` are passed
+to :func:`~repro.suite.runner.run_scenario` verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..exceptions import ReproError, ServiceError
+from ..suite.scenarios import figure2_scenario, mitigated_scenario
+from ..suite.sweep import Scenario
+from .jobs import JobQueue
+
+__all__ = ["BenchmarkService", "resolve_scenario"]
+
+#: Named scenario factories the POST body may reference by string.
+_NAMED_SCENARIOS = {
+    "figure2": figure2_scenario,
+    "mitigated": mitigated_scenario,
+    "mitigated_scores": mitigated_scenario,
+}
+
+
+def resolve_scenario(body: Dict[str, Any]) -> Scenario:
+    """Build the scenario a ``POST /scenarios`` body describes.
+
+    Raises:
+        ServiceError: on missing/unknown scenario references or malformed
+            definitions.
+    """
+    if "definition" in body:
+        try:
+            return Scenario.from_dict(body["definition"])
+        except (KeyError, TypeError, ReproError) as error:
+            raise ServiceError(f"malformed scenario definition: {error}") from error
+    name = body.get("scenario")
+    if not name:
+        raise ServiceError("request body needs a 'scenario' name or a 'definition'")
+    factory = _NAMED_SCENARIOS.get(name)
+    if factory is None:
+        known = ", ".join(sorted(set(_NAMED_SCENARIOS)))
+        raise ServiceError(f"unknown scenario {name!r}; known names: {known}")
+    options = body.get("options", {})
+    if not isinstance(options, dict):
+        raise ServiceError("'options' must be an object")
+    try:
+        return factory(**options)
+    except TypeError as error:
+        raise ServiceError(f"bad options for scenario {name!r}: {error}") from error
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; the service instance hangs off the server object."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # Silence per-request stderr logging (tests and long-running serves).
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    @property
+    def service(self) -> "BenchmarkService":
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError("empty request body")
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(f"request body is not valid JSON: {error}") from error
+        if not isinstance(body, dict):
+            raise ServiceError("request body must be a JSON object")
+        return body
+
+    def _route(self) -> Tuple[str, Dict[str, str]]:
+        parsed = urlparse(self.path)
+        query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+        return parsed.path.rstrip("/") or "/", query
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path, query = self._route()
+        try:
+            if path == "/healthz":
+                self._send_json({"status": "ok"})
+            elif path == "/stats":
+                self._send_json(self.service.stats())
+            elif path == "/jobs":
+                self._send_json({"jobs": self.service.queue.jobs()})
+            elif path.startswith("/jobs/") and path.endswith("/outcomes"):
+                self._stream_outcomes(path.split("/")[2])
+            elif path.startswith("/jobs/"):
+                self._send_json(self.service.queue.status(path.split("/")[2]))
+            elif path == "/results":
+                self._send_json({"results": self.service.query_results(query)})
+            else:
+                self._send_error_json(f"no such endpoint: GET {path}", 404)
+        except ServiceError as error:
+            self._send_error_json(str(error), 404 if "unknown job" in str(error) else 400)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path, _ = self._route()
+        try:
+            if path == "/scenarios":
+                body = self._read_body()
+                scenario = resolve_scenario(body)
+                knobs = body.get("knobs", {})
+                if not isinstance(knobs, dict):
+                    raise ServiceError("'knobs' must be an object")
+                job_id = self.service.queue.submit(scenario, **knobs)
+                self._send_json({"job_id": job_id, "scenario": scenario.name}, status=202)
+            else:
+                self._send_error_json(f"no such endpoint: POST {path}", 404)
+        except ServiceError as error:
+            self._send_error_json(str(error), 400)
+        except TypeError as error:
+            # Unknown runner knobs surface here when the job starts; catch
+            # the obvious submission-time variant (bad keyword) too.
+            self._send_error_json(f"bad knobs: {error}", 400)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        path, _ = self._route()
+        try:
+            if path.startswith("/jobs/"):
+                cancelled = self.service.queue.cancel(path.split("/")[2])
+                self._send_json({"cancelled": cancelled})
+            else:
+                self._send_error_json(f"no such endpoint: DELETE {path}", 404)
+        except ServiceError as error:
+            self._send_error_json(str(error), 404 if "unknown job" in str(error) else 400)
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def _stream_outcomes(self, job_id: str) -> None:
+        """NDJSON stream: one outcome object per line, live until the job
+        finishes, terminated by a ``{"event": "end", ...}`` line."""
+        self.service.queue.status(job_id)  # 404 before headers on unknown ids
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        # Chunked would need manual framing under HTTP/1.1; close-delimited
+        # bodies keep the stdlib client side (urllib) trivially correct.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        for payload in self.service.queue.iter_outcomes(
+            job_id, timeout=self.service.stream_timeout
+        ):
+            self.wfile.write((json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"))
+            self.wfile.flush()
+        status = self.service.queue.status(job_id)
+        end = {"event": "end", "status": status["status"], "outcomes": status["outcomes"]}
+        self.wfile.write((json.dumps(end, sort_keys=True) + "\n").encode("utf-8"))
+        self.wfile.flush()
+        self.close_connection = True
+
+
+class BenchmarkService:
+    """The HTTP benchmark service: job queue + store behind a REST surface.
+
+    Args:
+        store: Optional :class:`~repro.store.ResultStore` shared by every
+            job (read-through + write-back) and served by ``GET /results``.
+        host / port: Bind address; port 0 picks a free port (tests).
+        workers: Job-queue worker threads.
+        queue: Pre-built queue (injectable for tests); overrides
+            ``store``/``workers`` wiring when given.
+        stream_timeout: Safety cap (seconds) on one NDJSON stream.
+    """
+
+    def __init__(
+        self,
+        store=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        queue: Optional[JobQueue] = None,
+        stream_timeout: float = 600.0,
+    ) -> None:
+        self.store = store
+        self.queue = queue if queue is not None else JobQueue(store=store, workers=workers)
+        self.stream_timeout = float(stream_timeout)
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.service = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (the resolved port when 0 was asked)."""
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def stats(self) -> Dict[str, Any]:
+        """Combined service counters served by ``GET /stats``."""
+        data: Dict[str, Any] = {"queue": self.queue.stats()}
+        if self.store is not None:
+            data["store"] = self.store.stats()
+        return data
+
+    def query_results(self, query: Dict[str, str]) -> list:
+        """Row payloads for ``GET /results`` (400 on unknown filters)."""
+        if self.store is None:
+            raise ServiceError("no result store attached; start with --store")
+        allowed = {"scenario", "family", "device", "mitigation", "kind", "limit"}
+        unknown = set(query) - allowed
+        if unknown:
+            raise ServiceError(
+                f"unknown query parameters: {', '.join(sorted(unknown))}; "
+                f"allowed: {', '.join(sorted(allowed))}"
+            )
+        filters: Dict[str, Any] = {k: v for k, v in query.items() if k != "limit"}
+        if "limit" in query:
+            try:
+                filters["limit"] = int(query["limit"])
+            except ValueError as error:
+                raise ServiceError(f"limit must be an integer: {error}") from error
+        filters.setdefault("kind", "outcome")
+        return self.store.query(**filters)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "BenchmarkService":
+        """Serve on a background thread (returns immediately)."""
+        if self._thread is not None:
+            raise ServiceError("service is already running")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro serve`` entry point)."""
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop the server and the job queue (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.queue.close()
+
+    def __enter__(self) -> "BenchmarkService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        host, port = self.address
+        return f"BenchmarkService(url=http://{host}:{port}, queue={self.queue!r})"

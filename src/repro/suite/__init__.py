@@ -58,6 +58,7 @@ __all__ = [
     "SCALING_RULES",
     "SpecOutcome",
     "SuiteResult",
+    "SCHEMA_VERSION",
     "run_scenario",
 ]
 
@@ -68,6 +69,7 @@ _LAZY = {
     # during their decorator-based registration without an import cycle.
     "SpecOutcome": "results",
     "SuiteResult": "results",
+    "SCHEMA_VERSION": "results",
     "run_scenario": "runner",
 }
 

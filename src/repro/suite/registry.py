@@ -122,6 +122,10 @@ class BenchmarkRegistry:
             instance = self._instances.get(spec)
             if instance is None:
                 instance = self.family(spec.family)(**spec.as_kwargs())
+                # Stamp the canonical spec identity so downstream layers
+                # (the content-addressed result store in particular) can key
+                # on the spec rather than the looser display label.
+                instance.spec_key = spec.key()
                 self._instances[spec] = instance
             return instance
 
@@ -133,7 +137,9 @@ class BenchmarkRegistry:
         profiling of very large circuits, which :meth:`build` would pin in
         memory for the process lifetime.
         """
-        return self.family(spec.family)(**spec.as_kwargs())
+        instance = self.family(spec.family)(**spec.as_kwargs())
+        instance.spec_key = spec.key()
+        return instance
 
     def features(self, spec: BenchmarkSpec) -> "FeatureVector":
         """SupermarQ feature vector of ``spec``.

@@ -15,10 +15,34 @@ import pathlib
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Mapping, Optional, Union
 
-from ..exceptions import AnalysisError
+from ..exceptions import AnalysisError, SchemaVersionError
 from ..execution.results import BenchmarkRun
 
-__all__ = ["SpecOutcome", "SuiteResult", "coerce_runs"]
+__all__ = ["SpecOutcome", "SuiteResult", "coerce_runs", "SCHEMA_VERSION"]
+
+#: Version stamped into every persisted :class:`SpecOutcome` /
+#: :class:`SuiteResult` payload.  Loading a payload carrying a *newer*
+#: version fails loudly with :class:`~repro.exceptions.SchemaVersionError`
+#: instead of silently misreading fields — the result store's migrations
+#: depend on this being reliable.
+SCHEMA_VERSION = 2
+
+#: Payload versions this release can read.  Version 1 predates the
+#: ``schema_version`` stamp on outcomes (it used a bare ``schema`` field on
+#: the suite level only).
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+def _check_schema_version(version, what: str) -> None:
+    """Reject payloads written by newer (or unknown) releases, loudly."""
+    if version is None:
+        return  # version-1 outcome payloads carry no stamp
+    if version not in _SUPPORTED_VERSIONS:
+        raise SchemaVersionError(
+            f"{what} carries schema version {version!r}, but this release "
+            f"understands versions {list(_SUPPORTED_VERSIONS)} — upgrade the "
+            f"library or regenerate the payload"
+        )
 
 
 def coerce_runs(runs) -> List[BenchmarkRun]:
@@ -61,11 +85,28 @@ class SpecOutcome:
 
     def as_dict(self) -> Dict[str, Any]:
         data = asdict(self)
+        data["schema_version"] = SCHEMA_VERSION
+        return data
+
+    def unit_payload(self) -> Dict[str, Any]:
+        """The outcome's *content* — everything except volatile fields.
+
+        Two outcomes of the same unit produced by (deterministic) repeat
+        executions agree on this payload even though their wall times and
+        scenario positions differ; :meth:`SuiteResult.merge` uses it to
+        distinguish benign duplicates from genuine conflicts.
+        """
+        data = asdict(self)
+        data.pop("seconds", None)
+        data.pop("index", None)
+        if data.get("run") is not None:
+            data["run"].pop("seconds", None)
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SpecOutcome":
         payload = dict(data)
+        _check_schema_version(payload.pop("schema_version", None), "suite outcome payload")
         run = payload.get("run")
         if run is not None:
             payload["run"] = BenchmarkRun(**run)
@@ -94,8 +135,52 @@ class SuiteResult:
     # accumulation
     # ------------------------------------------------------------------
     def add(self, outcome: SpecOutcome) -> None:
-        """Record one outcome (last write wins for a repeated key)."""
+        """Record one outcome (last write wins for a repeated key).
+
+        This is the *streaming* accumulator: the runner re-records a unit
+        when explicitly re-executing it.  To combine two persisted partials
+        safely, use :meth:`merge`, which refuses conflicting payloads.
+        """
         self._outcomes[outcome.key] = outcome
+
+    def merge(self, other: "SuiteResult") -> "SuiteResult":
+        """Fold another result's outcomes into this one, rejecting conflicts.
+
+        Outcomes present in both results must agree on their
+        :meth:`~SpecOutcome.unit_payload` (status, spec, scores, ... — wall
+        time excluded, since repeat executions of a deterministic unit differ
+        only in timing).  A disagreement means the two partials were *not*
+        produced by the same configuration and silently keeping either side
+        would present wrong scores, so it raises instead.
+
+        Returns ``self`` (mutated in place) for chaining.
+
+        Raises:
+            AnalysisError: when the results belong to different scenarios,
+                were produced with different knobs, or record conflicting
+                payloads under the same unit key.
+        """
+        if other.scenario:
+            self.bind_config(other.scenario, other.config)
+        conflicts = []
+        for key, theirs in other._outcomes.items():
+            ours = self._outcomes.get(key)
+            if ours is not None and ours.unit_payload() != theirs.unit_payload():
+                conflicts.append(key)
+        if conflicts:
+            listing = ", ".join(sorted(conflicts)[:3])
+            if len(conflicts) > 3:
+                listing += f", ... ({len(conflicts)} total)"
+            raise AnalysisError(
+                f"cannot merge suite results: conflicting payloads under unit "
+                f"key(s) {listing} — the partials were not produced by the same "
+                f"configuration"
+            )
+        for key, theirs in other._outcomes.items():
+            self._outcomes.setdefault(key, theirs)
+        for engine_key, stats in other.engine_stats.items():
+            self.note_engine_stats(engine_key, stats)
+        return self
 
     def bind_config(self, scenario: str, config: Mapping[str, Any]) -> None:
         """Pin the scenario name and execution knobs the outcomes belong to.
@@ -205,7 +290,7 @@ class SuiteResult:
     # ------------------------------------------------------------------
     def as_dict(self) -> Dict[str, Any]:
         return {
-            "schema": 1,
+            "schema_version": SCHEMA_VERSION,
             "scenario": self.scenario,
             "config": self.config,
             "outcomes": [outcome.as_dict() for outcome in self.outcomes()],
@@ -221,8 +306,15 @@ class SuiteResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SuiteResult":
-        if data.get("schema") != 1:
-            raise AnalysisError(f"unsupported suite-result schema: {data.get('schema')!r}")
+        # Version-1 files stamped a bare "schema" field; read both spellings
+        # and fail loudly on anything newer than this release understands.
+        version = data.get("schema_version", data.get("schema"))
+        if version is None:
+            raise SchemaVersionError(
+                "suite-result payload carries no schema version — not a "
+                "persisted SuiteResult"
+            )
+        _check_schema_version(version, "suite-result payload")
         result = cls(scenario=data.get("scenario", ""))
         result.config = dict(data.get("config", {}))
         for outcome in data.get("outcomes", []):

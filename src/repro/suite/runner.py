@@ -21,7 +21,7 @@ execution order and identical to a hand-written per-benchmark loop.
 from __future__ import annotations
 
 import warnings
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence, Union
 
 from ..devices import get_device
 from ..exceptions import BackendCapacityError, DeviceError, MitigationError
@@ -30,6 +30,9 @@ from ..mitigation import is_raw_spec, resolve_mitigator
 from .registry import BenchmarkRegistry, get_registry
 from .results import SpecOutcome, SuiteResult
 from .sweep import RunUnit, Scenario, Shard
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store import ResultStore
 
 __all__ = ["run_scenario"]
 
@@ -55,6 +58,7 @@ def run_scenario(
     partial: Optional[SuiteResult] = None,
     on_outcome: Optional[Callable[[SpecOutcome], None]] = None,
     save_path=None,
+    store: Optional["ResultStore"] = None,
 ) -> SuiteResult:
     """Execute a scenario shard-by-shard and stream the aggregated results.
 
@@ -78,6 +82,14 @@ def run_scenario(
         save_path: When given, the (cumulative) result is re-persisted to
             this JSON file after every completed shard, so a crash loses at
             most one shard of work.
+        store: A content-addressed :class:`~repro.store.ResultStore`.  Each
+            shard's engine consults it before simulating — a unit whose
+            content key (spec × pipeline × noise × mitigation × knobs) is
+            already stored is answered from disk with zero compilations and
+            zero backend executions — and every executed unit's
+            :class:`~repro.execution.results.BenchmarkRun` and
+            :class:`SpecOutcome` are written back (skips write an outcome
+            row only; they are re-derived rather than cached).
 
     Returns:
         The :class:`SuiteResult` (the ``partial`` instance when resuming).
@@ -114,6 +126,7 @@ def run_scenario(
             max_workers=max_workers,
             optimization_level=shard.engine.optimization_level,
             placement=shard.engine.placement,
+            store=store,
             trajectories=trajectories,
         ) as engine:
             for mitigation, units in pending_groups:
@@ -122,6 +135,7 @@ def run_scenario(
                 _run_group(
                     engine, units, mitigation, registry, result, on_outcome,
                     shots=shots, repetitions=repetitions, seed=seed,
+                    store=store, scenario_name=scenario.name,
                 )
         # The caches remain readable after the pool shuts down.
         result.note_engine_stats(shard.engine.key(), engine.stats())
@@ -140,6 +154,8 @@ def _run_group(
     shots: int,
     repetitions: int,
     seed: Optional[int],
+    store: Optional["ResultStore"] = None,
+    scenario_name: str = "",
 ) -> None:
     """Execute one shard group (single technique) through ``run_suite``."""
     benchmarks = [unit.spec.build(registry) for unit in units]
@@ -151,6 +167,16 @@ def _run_group(
 
     def record(outcome: SpecOutcome) -> None:
         result.add(outcome)
+        if store is not None:
+            # Outcome rows (runs *and* skips) are write-through: they make
+            # whole scenarios queryable (`repro query`, GET /results); the
+            # read path goes through the engine's run-level lookup, which
+            # shares the same content key.
+            key = engine.content_key(
+                outcome.key.split("|", 1)[0], shots, repetitions, seed,
+                mitigation=mitigation,
+            )
+            store.put_outcome(key, outcome, scenario=scenario_name)
         if on_outcome is not None:
             on_outcome(outcome)
 

@@ -1,0 +1,169 @@
+"""Integration tests for the REST surface (the `repro serve` acceptance path)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import BenchmarkService
+from repro.service.http import resolve_scenario
+from repro.store import ResultStore
+from repro.suite import figure2_scenario
+
+KNOBS = {"shots": 60, "repetitions": 1, "seed": 99, "trajectories": 12}
+
+SUBMISSION = {
+    "scenario": "figure2",
+    "options": {"small": True, "devices": ["IonQ-11Q"], "families": ["ghz"]},
+    "knobs": KNOBS,
+}
+
+
+@pytest.fixture(scope="module")
+def service():
+    with ResultStore() as store:
+        with BenchmarkService(store=store, port=0, workers=1) as service:
+            yield service
+
+
+def get_json(service, path):
+    with urllib.request.urlopen(service.url + path) as response:
+        return response.status, json.loads(response.read())
+
+
+def post_json(service, path, body):
+    request = urllib.request.Request(
+        service.url + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestEndToEnd:
+    def test_submit_stream_and_query(self, service):
+        """The acceptance test: a submitted scenario is answered end-to-end
+        over HTTP with streamed NDJSON outcomes."""
+        status, body = post_json(service, "/scenarios", SUBMISSION)
+        assert status == 202
+        job_id = body["job_id"]
+        assert body["scenario"] == "figure2"
+
+        # NDJSON stream: one outcome per line while the job runs, then an
+        # end-of-stream marker.
+        lines = []
+        with urllib.request.urlopen(f"{service.url}/jobs/{job_id}/outcomes") as response:
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            for line in response:
+                lines.append(json.loads(line))
+        assert lines[-1]["event"] == "end"
+        assert lines[-1]["status"] == "done"
+        outcomes = lines[:-1]
+        assert len(outcomes) == 2
+        assert all(outcome["status"] == "ok" for outcome in outcomes)
+        assert {outcome["key"].split("|", 1)[0] for outcome in outcomes} == {
+            "ghz(num_qubits=3)", "ghz(num_qubits=5)",
+        }
+
+        status, job = get_json(service, f"/jobs/{job_id}")
+        assert status == 200
+        assert job["status"] == "done"
+        assert job["executed"] == 2
+
+        status, results = get_json(service, "/results?family=ghz&device=IonQ-11Q")
+        assert status == 200
+        assert len(results["results"]) == 2
+
+    def test_healthz_and_stats(self, service):
+        assert get_json(service, "/healthz") == (200, {"status": "ok"})
+        status, stats = get_json(service, "/stats")
+        assert status == 200
+        assert "queue" in stats and "store" in stats
+
+    def test_jobs_listing(self, service):
+        post_json(service, "/scenarios", SUBMISSION)
+        status, body = get_json(service, "/jobs")
+        assert status == 200
+        assert len(body["jobs"]) >= 1
+
+    def test_full_definition_submission(self, service):
+        definition = figure2_scenario(
+            small=True, devices=["IonQ-11Q"], families=["ghz"]
+        ).as_dict()
+        status, body = post_json(
+            service, "/scenarios", {"definition": definition, "knobs": KNOBS}
+        )
+        assert status == 202
+        status, job = get_json(service, f"/jobs/{body['job_id']}")
+        assert job["scenario"] == "figure2"
+
+    def test_cancel_endpoint(self, service):
+        _, body = post_json(service, "/scenarios", SUBMISSION)
+        request = urllib.request.Request(
+            f"{service.url}/jobs/{body['job_id']}", method="DELETE"
+        )
+        with urllib.request.urlopen(request) as response:
+            cancelled = json.loads(response.read())
+        assert cancelled["cancelled"] in (True, False)
+
+
+class TestErrorHandling:
+    def expect_error(self, service, path, body=None, method=None):
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(service.url + path, data=data, method=method)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        return excinfo.value.code, json.loads(excinfo.value.read())
+
+    def test_unknown_endpoint(self, service):
+        code, body = self.expect_error(service, "/nope")
+        assert code == 404
+        assert "no such endpoint" in body["error"]
+
+    def test_unknown_job(self, service):
+        code, body = self.expect_error(service, "/jobs/job-999")
+        assert code == 404
+
+    def test_unknown_scenario_name(self, service):
+        code, body = self.expect_error(
+            service, "/scenarios", {"scenario": "nope"}, method="POST"
+        )
+        assert code == 400
+        assert "unknown scenario" in body["error"]
+
+    def test_empty_body(self, service):
+        code, body = self.expect_error(service, "/scenarios", method="POST")
+        assert code == 400
+
+    def test_bad_query_filter(self, service):
+        code, body = self.expect_error(service, "/results?bogus=1")
+        assert code == 400
+        assert "unknown query parameters" in body["error"]
+
+
+class TestResolveScenario:
+    def test_named(self):
+        scenario = resolve_scenario({"scenario": "figure2", "options": {"small": True}})
+        assert scenario.name == "figure2"
+
+    def test_mitigated_alias(self):
+        assert resolve_scenario({"scenario": "mitigated"}).name == "mitigated_scores"
+
+    def test_definition(self):
+        definition = figure2_scenario(small=True).as_dict()
+        assert resolve_scenario({"definition": definition}).name == "figure2"
+
+    def test_missing(self):
+        with pytest.raises(ServiceError, match="needs a 'scenario'"):
+            resolve_scenario({})
+
+    def test_bad_options(self):
+        with pytest.raises(ServiceError, match="bad options"):
+            resolve_scenario({"scenario": "figure2", "options": {"bogus": 1}})
+
+    def test_malformed_definition(self):
+        with pytest.raises(ServiceError, match="malformed"):
+            resolve_scenario({"definition": {"sweeps": []}})

@@ -1,0 +1,178 @@
+"""Tests for the in-process job queue: submit/status/result/cancel/retry."""
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import JobQueue
+from repro.store import ResultStore
+from repro.suite import figure2_scenario
+from repro.suite.results import SpecOutcome, SuiteResult
+from repro.suite.sweep import Scenario, Sweep
+
+KNOBS = dict(shots=60, repetitions=1, seed=99, trajectories=12)
+
+
+def tiny_scenario():
+    return figure2_scenario(small=True, devices=["IonQ-11Q"], families=["ghz"])
+
+
+def make_outcome(key, index=0):
+    return SpecOutcome(
+        key=key,
+        spec={"family": "ghz", "params": {"num_qubits": 3}},
+        device="IonQ-11Q",
+        mitigation="raw",
+        index=index,
+        status="skipped",
+        reason="test",
+    )
+
+
+class TestJobQueueEndToEnd:
+    def test_submit_runs_a_real_scenario(self):
+        with JobQueue(workers=1) as jobs:
+            job_id = jobs.submit(tiny_scenario(), **KNOBS)
+            result = jobs.result(job_id, timeout=120)
+            assert len(result.runs()) == 2
+            status = jobs.status(job_id)
+            assert status["status"] == "done"
+            assert status["executed"] == 2
+            assert status["attempts"] == 1
+
+    def test_store_is_shared_across_jobs(self):
+        with ResultStore() as store, JobQueue(store=store, workers=1) as jobs:
+            first = jobs.result(jobs.submit(tiny_scenario(), **KNOBS), timeout=120)
+            second = jobs.result(jobs.submit(tiny_scenario(), **KNOBS), timeout=120)
+            assert second.scores() == first.scores()
+            assert store.stats()["hits"] == len(second.runs())
+
+    def test_streaming_outcomes(self):
+        with JobQueue(workers=1) as jobs:
+            job_id = jobs.submit(tiny_scenario(), **KNOBS)
+            payloads = list(jobs.iter_outcomes(job_id, timeout=120))
+            assert len(payloads) == 2
+            assert all(payload["status"] == "ok" for payload in payloads)
+
+
+class TestJobQueueSemantics:
+    def test_submit_validates_scenario(self):
+        with JobQueue(workers=1) as jobs:
+            with pytest.raises(ServiceError, match="takes a Scenario"):
+                jobs.submit("figure2")
+
+    def test_unknown_job_id(self):
+        with JobQueue(workers=1) as jobs:
+            with pytest.raises(ServiceError, match="unknown job id"):
+                jobs.status("job-999")
+
+    def test_failed_job_retries_then_fails(self):
+        attempts = []
+
+        def flaky_runner(scenario, partial=None, on_outcome=None, **knobs):
+            attempts.append(1)
+            raise RuntimeError("boom")
+
+        with JobQueue(workers=1, max_attempts=3, runner=flaky_runner) as jobs:
+            job_id = jobs.submit(tiny_scenario())
+            with pytest.raises(ServiceError, match="failed"):
+                jobs.result(job_id, timeout=30)
+            status = jobs.status(job_id)
+            assert status["attempts"] == 3
+            assert "RuntimeError: boom" in status["error"]
+            assert jobs.stats()["retries"] == 2
+        assert len(attempts) == 3
+
+    def test_retry_resumes_partial_results(self):
+        calls = []
+
+        def crash_once_runner(scenario, partial=None, on_outcome=None, **knobs):
+            calls.append(partial)
+            outcome = make_outcome("unit-1")
+            if outcome.key not in partial:
+                partial.add(outcome)
+                if on_outcome is not None:
+                    on_outcome(outcome)
+            if len(calls) == 1:
+                raise RuntimeError("crash after first unit")
+            second = make_outcome("unit-2", index=1)
+            partial.add(second)
+            if on_outcome is not None:
+                on_outcome(second)
+            return partial
+
+        with JobQueue(workers=1, max_attempts=2, runner=crash_once_runner) as jobs:
+            job_id = jobs.submit(tiny_scenario())
+            result = jobs.result(job_id, timeout=30)
+            # Both attempts received the same accumulating SuiteResult.
+            assert calls[0] is calls[1]
+            assert len(result) == 2
+            assert jobs.status(job_id)["attempts"] == 2
+
+    def test_cancel_queued_job(self):
+        release = threading.Event()
+
+        def blocking_runner(scenario, partial=None, on_outcome=None, **knobs):
+            release.wait(timeout=30)
+            return partial
+
+        with JobQueue(workers=1, runner=blocking_runner) as jobs:
+            blocker = jobs.submit(tiny_scenario())
+            queued = jobs.submit(tiny_scenario())
+            assert jobs.cancel(queued) is True
+            assert jobs.status(queued)["status"] == "cancelled"
+            release.set()
+            jobs.result(blocker, timeout=30)
+            # Cancelling a finished job is a no-op returning False.
+            assert jobs.cancel(blocker) is False
+
+    def test_cancel_running_job_stops_at_outcome_boundary(self):
+        started = threading.Event()
+        proceed = threading.Event()
+
+        def slow_runner(scenario, partial=None, on_outcome=None, **knobs):
+            for index in range(10):
+                outcome = make_outcome(f"unit-{index}", index=index)
+                partial.add(outcome)
+                if on_outcome is not None:
+                    on_outcome(outcome)  # raises JobCancelled once requested
+                started.set()
+                proceed.wait(timeout=30)
+            return partial
+
+        with JobQueue(workers=1, runner=slow_runner) as jobs:
+            job_id = jobs.submit(tiny_scenario())
+            assert started.wait(timeout=30)
+            assert jobs.cancel(job_id) is True
+            proceed.set()
+            deadline = time.monotonic() + 30
+            while jobs.status(job_id)["status"] == "running":
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            status = jobs.status(job_id)
+            assert status["status"] == "cancelled"
+            assert status["outcomes"] < 10
+
+    def test_result_timeout(self):
+        def blocking_runner(scenario, partial=None, on_outcome=None, **knobs):
+            time.sleep(5)
+            return partial
+
+        with JobQueue(workers=1, runner=blocking_runner) as jobs:
+            job_id = jobs.submit(tiny_scenario())
+            with pytest.raises(ServiceError, match="timed out"):
+                jobs.result(job_id, timeout=0.2)
+
+    def test_closed_queue_rejects_submissions(self):
+        jobs = JobQueue(workers=1)
+        jobs.close()
+        with pytest.raises(ServiceError, match="closed"):
+            jobs.submit(tiny_scenario())
+
+    def test_constructor_validation(self):
+        with pytest.raises(ServiceError):
+            JobQueue(workers=0)
+        with pytest.raises(ServiceError):
+            JobQueue(max_attempts=0)

@@ -1,0 +1,204 @@
+"""Tests for the content-addressed result store: keys, rows, migrations."""
+
+import sqlite3
+
+import pytest
+
+from repro.exceptions import SchemaVersionError, StoreError
+from repro.execution.results import BenchmarkRun
+from repro.store import (
+    KEY_SCHEMA,
+    PAYLOAD_VERSION,
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    content_key,
+    key_payload,
+)
+from repro.suite.results import SpecOutcome
+
+
+def make_run(benchmark="ghz[3q]", device="IonQ-11Q", scores=(0.9, 0.91)):
+    return BenchmarkRun(
+        benchmark=benchmark,
+        family="ghz",
+        device=device,
+        scores=list(scores),
+        features={"pc": 0.5},
+        typical={"num_qubits": 3},
+        compiled_two_qubit_gates=2,
+        compiled_depth=9,
+        swap_count=0,
+        shots=100,
+        backend="trajectory",
+        placement="noise_aware",
+        pipeline="abc123",
+        mitigation="",
+        seconds=0.5,
+    )
+
+
+def make_outcome(key="ghz(num_qubits=3)|IonQ-11Q/default/O1/noise_aware|raw", index=0):
+    return SpecOutcome(
+        key=key,
+        spec={"family": "ghz", "params": {"num_qubits": 3}},
+        device="IonQ-11Q",
+        mitigation="raw",
+        index=index,
+        status="ok",
+        run=make_run(),
+        seconds=0.5,
+    )
+
+
+class TestContentKey:
+    def test_deterministic_and_order_independent(self):
+        a = content_key("ghz(num_qubits=3)", "IonQ-11Q", {"name": "trajectory"},
+                        "pipe", "noise", "raw", 100, 2, 7)
+        b = content_key("ghz(num_qubits=3)", "IonQ-11Q", {"name": "trajectory"},
+                        "pipe", "noise", "raw", 100, 2, 7)
+        assert a == b
+        assert len(a) == 64
+
+    def test_every_input_is_score_affecting(self):
+        base = dict(spec="ghz(num_qubits=3)", device="IonQ-11Q",
+                    backend={"name": "trajectory"}, pipeline="pipe",
+                    noise="noise", mitigation="raw", shots=100,
+                    repetitions=2, seed=7)
+        reference = content_key(**base)
+        for field, changed in [
+            ("spec", "ghz(num_qubits=5)"),
+            ("device", "IBM-Casablanca-7Q"),
+            ("backend", {"name": "statevector"}),
+            ("pipeline", "other"),
+            ("noise", "ideal"),
+            ("mitigation", "zne"),
+            ("shots", 200),
+            ("repetitions", 3),
+            ("seed", 8),
+        ]:
+            variant = dict(base, **{field: changed})
+            assert content_key(**variant) != reference, field
+
+    def test_key_payload_carries_schema(self):
+        payload = key_payload("s", "d", {}, "p", "n", "raw", 1, 1, None)
+        assert payload["key_schema"] == KEY_SCHEMA
+
+
+class TestResultStore:
+    def test_get_put_roundtrip(self):
+        with ResultStore() as store:
+            run = make_run()
+            store.put_run("k1", run)
+            assert store.get_run("k1") == run
+            assert store.get_run("absent") is None
+            assert store.stats() == {
+                "hits": 1, "misses": 1, "puts": 1, "evictions": 0, "rows": 1,
+            }
+
+    def test_outcome_roundtrip(self):
+        with ResultStore() as store:
+            outcome = make_outcome()
+            store.put_outcome("k1", outcome, scenario="figure2")
+            assert store.get_outcome("k1") == outcome
+
+    def test_kinds_do_not_collide(self):
+        with ResultStore() as store:
+            store.put_run("k1", make_run())
+            store.put_outcome("k1", make_outcome())
+            assert len(store) == 2
+            assert store.get_run("k1") is not None
+            assert store.get_outcome("k1") is not None
+
+    def test_idempotent_reput(self):
+        with ResultStore() as store:
+            run = make_run()
+            store.put_run("k1", run)
+            store.put_run("k1", run)
+            assert len(store) == 1
+            assert store.get_run("k1") == run
+
+    def test_contains_and_len(self):
+        with ResultStore() as store:
+            assert "k1" not in store
+            store.put_run("k1", make_run())
+            assert "k1" in store
+            assert len(store) == 1
+
+    def test_query_filters(self):
+        with ResultStore() as store:
+            store.put_outcome("k1", make_outcome(index=0), scenario="figure2")
+            other = make_outcome(key="ghz(num_qubits=5)|IonQ-11Q/default/O1/noise_aware|zne")
+            other.mitigation = "zne"
+            store.put_outcome("k2", other, scenario="mitigated_scores")
+            assert len(store.query(kind="outcome")) == 2
+            assert len(store.query(kind="outcome", scenario="figure2")) == 1
+            assert len(store.query(kind="outcome", mitigation="zne")) == 1
+            assert len(store.query(kind="outcome", device="nope")) == 0
+            rows = store.query(kind="outcome", limit=1)
+            assert len(rows) == 1
+            assert rows[0]["payload"]["schema_version"] == 2
+
+    def test_lru_eviction(self):
+        with ResultStore(max_rows=2) as store:
+            store.put("a", "run", {"v": 1})
+            store.put("b", "run", {"v": 2})
+            store.get("a", "run")  # touch a so b is the LRU victim
+            store.put("c", "run", {"v": 3})
+            assert len(store) == 2
+            assert "b" not in store
+            assert "a" in store and "c" in store
+            assert store.stats()["evictions"] == 1
+
+    def test_max_rows_validation(self):
+        with pytest.raises(StoreError):
+            ResultStore(max_rows=0)
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        with ResultStore(path) as store:
+            store.put_run("k1", make_run())
+        with ResultStore(path) as store:
+            assert store.get_run("k1") == make_run()
+
+    def test_future_db_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        connection = sqlite3.connect(path)
+        connection.execute(f"PRAGMA user_version = {STORE_SCHEMA_VERSION + 1}")
+        connection.close()
+        with pytest.raises(SchemaVersionError, match="newer release"):
+            ResultStore(path)
+
+    def test_future_payload_version_rejected(self, tmp_path):
+        path = tmp_path / "payload.sqlite"
+        with ResultStore(path) as store:
+            store.put("k1", "run", {"v": 1})
+            store._connection().execute(
+                "UPDATE results SET schema_version = ?", (PAYLOAD_VERSION + 1,)
+            )
+            with pytest.raises(SchemaVersionError, match="payload version"):
+                store.get("k1", "run")
+
+    def test_migrations_upgrade_v1_database(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        with ResultStore(path) as store:
+            store.put_run("k1", make_run())
+        connection = sqlite3.connect(path)
+        connection.execute("DROP INDEX IF EXISTS idx_results_query")
+        connection.execute("PRAGMA user_version = 1")
+        connection.commit()
+        connection.close()
+        with ResultStore(path) as store:
+            assert store.get_run("k1") == make_run()
+            indexes = {
+                row[0]
+                for row in store._connection().execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'index'"
+                )
+            }
+            assert "idx_results_query" in indexes
+
+    def test_malformed_run_payload(self):
+        with ResultStore() as store:
+            store.put("k1", "run", {"schema_version": PAYLOAD_VERSION, "run": {"nope": 1}})
+            with pytest.raises(StoreError, match="malformed run payload"):
+                store.get_run("k1")

@@ -1,0 +1,132 @@
+"""Tests for SuiteResult.merge conflict rejection and payload versioning."""
+
+import pytest
+
+from repro.exceptions import AnalysisError, SchemaVersionError
+from repro.suite.results import SCHEMA_VERSION, SpecOutcome, SuiteResult
+
+
+def make_outcome(key="u1", index=0, reason=""):
+    return SpecOutcome(
+        key=key,
+        spec={"family": "ghz", "params": {"num_qubits": 3}},
+        device="IonQ-11Q",
+        mitigation="raw",
+        index=index,
+        status="skipped" if reason else "ok",
+        reason=reason,
+    )
+
+
+class TestMerge:
+    def test_disjoint_outcomes_union(self):
+        left, right = SuiteResult("s"), SuiteResult("s")
+        left.add(make_outcome("u1", index=0))
+        right.add(make_outcome("u2", index=1))
+        merged = left.merge(right)
+        assert merged is left
+        assert len(left) == 2
+        assert left.completed_keys() == {"u1", "u2"}
+
+    def test_identical_duplicates_are_benign(self):
+        left, right = SuiteResult("s"), SuiteResult("s")
+        left.add(make_outcome("u1"))
+        right.add(make_outcome("u1"))
+        left.merge(right)
+        assert len(left) == 1
+
+    def test_volatile_fields_do_not_conflict(self):
+        left, right = SuiteResult("s"), SuiteResult("s")
+        ours = make_outcome("u1", index=0)
+        ours.seconds = 1.0
+        theirs = make_outcome("u1", index=5)
+        theirs.seconds = 2.0
+        left.add(ours)
+        right.add(theirs)
+        left.merge(right)
+        # First-writer wins for benign duplicates.
+        assert left.outcomes()[0].seconds == 1.0
+
+    def test_conflicting_payloads_rejected(self):
+        left, right = SuiteResult("s"), SuiteResult("s")
+        left.add(make_outcome("u1"))
+        right.add(make_outcome("u1", reason="did not fit"))
+        with pytest.raises(AnalysisError, match="conflicting payloads.*u1"):
+            left.merge(right)
+
+    def test_conflict_listing_is_truncated(self):
+        left, right = SuiteResult("s"), SuiteResult("s")
+        for index in range(5):
+            left.add(make_outcome(f"u{index}", index=index))
+            right.add(make_outcome(f"u{index}", index=index, reason="conflict"))
+        with pytest.raises(AnalysisError, match=r"\(5 total\)"):
+            left.merge(right)
+
+    def test_scenario_mismatch_rejected(self):
+        left, right = SuiteResult("a"), SuiteResult("b")
+        with pytest.raises(AnalysisError, match="scenario"):
+            left.merge(right)
+
+    def test_knob_mismatch_rejected(self):
+        left, right = SuiteResult("s"), SuiteResult("s")
+        left.bind_config("s", {"shots": 100})
+        right.bind_config("s", {"shots": 200})
+        with pytest.raises(AnalysisError, match="different knobs"):
+            left.merge(right)
+
+    def test_engine_stats_are_summed(self):
+        left, right = SuiteResult("s"), SuiteResult("s")
+        left.note_engine_stats("e", {"hits": 1, "entries": 4})
+        right.note_engine_stats("e", {"hits": 2, "entries": 3})
+        left.merge(right)
+        assert left.engine_stats["e"]["hits"] == 3
+        assert left.engine_stats["e"]["entries"] == 4  # gauge: max, not sum
+
+
+class TestSchemaVersion:
+    def test_outcome_payloads_are_stamped(self):
+        payload = make_outcome().as_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_suite_payloads_are_stamped(self):
+        result = SuiteResult("s")
+        result.add(make_outcome())
+        data = result.as_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["outcomes"][0]["schema_version"] == SCHEMA_VERSION
+
+    def test_roundtrip(self):
+        result = SuiteResult("s")
+        result.add(make_outcome())
+        result.note_engine_stats("e", {"hits": 1})
+        reloaded = SuiteResult.from_json(result.to_json())
+        assert reloaded.completed_keys() == result.completed_keys()
+        assert reloaded.engine_stats == result.engine_stats
+
+    def test_future_outcome_version_rejected(self):
+        payload = make_outcome().as_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaVersionError, match="schema version"):
+            SpecOutcome.from_dict(payload)
+
+    def test_future_suite_version_rejected(self):
+        result = SuiteResult("s")
+        data = result.as_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaVersionError):
+            SuiteResult.from_dict(data)
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(SchemaVersionError, match="no schema version"):
+            SuiteResult.from_dict({"scenario": "s", "outcomes": []})
+
+    def test_legacy_v1_schema_field_still_loads(self):
+        result = SuiteResult("s")
+        result.add(make_outcome())
+        data = result.as_dict()
+        del data["schema_version"]
+        data["schema"] = 1
+        for outcome in data["outcomes"]:
+            outcome.pop("schema_version", None)
+        reloaded = SuiteResult.from_dict(data)
+        assert len(reloaded) == 1
