@@ -10,11 +10,14 @@ This mirrors the paper's workflow end to end:
 4. execute it on the device's calibration-derived noise model,
 5. compute the application-level score (Hellinger fidelity for GHZ),
 6. mitigate the readout error through the execution engine and compare the
-   raw and mitigated scores (see docs/mitigation.md), and
+   raw and mitigated scores (see docs/mitigation.md),
 7. serve a cached figure: run a small Fig. 2 scenario through the
    content-addressed result store twice — the repeat is answered from the
    store with zero backend executions (see docs/store.md and
-   docs/service.md for the HTTP service on top).
+   docs/service.md for the HTTP service on top), and
+8. rerun the sweep on worker processes — `executor="process"` breaks the
+   GIL ceiling on multi-core machines with bit-identical scores (see
+   docs/distributed.md; from the CLI: `repro run figure2 --processes 4`).
 
 Run with:  python examples/quickstart.py
 """
@@ -89,6 +92,14 @@ def main() -> None:
             f"{warm_stats['executions']} backend executions — served from sqlite"
         )
         print("same store behind HTTP:  repro serve --store results.sqlite")
+
+    print("\n=== Process-parallel execution (docs/distributed.md) ===")
+    parallel = run_scenario(scenario, executor="process", processes=2, **knobs)
+    assert parallel.scores() == cold.scores()  # bit-identical across executors
+    workers = [key for key in parallel.engine_stats if key.startswith("worker-")]
+    print(f"{len(parallel.runs())} units on {len(workers)} worker processes; "
+          "same scores as the threaded run")
+    print("CLI equivalent:  repro run figure2 --processes 4")
 
 
 if __name__ == "__main__":

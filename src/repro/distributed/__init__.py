@@ -1,0 +1,33 @@
+"""Process-parallel sweep execution: leased shards on a worker-process pool.
+
+The suite runner stays the single entry point — ``run_scenario(...,
+executor="process", processes=N)`` plans the scenario's pending units into
+picklable :class:`ShardTask` chunks, drives them through a
+:class:`ProcessShardExecutor` via the leased :class:`WorkQueue` scheduler,
+and merges the streamed outcomes back into the usual
+:class:`~repro.suite.results.SuiteResult`.  See ``docs/distributed.md``.
+"""
+
+from .executor import ProcessShardExecutor, default_start_method
+from .plan import (
+    Lease,
+    LeaseResult,
+    ShardPlan,
+    ShardTask,
+    UnitPlan,
+    plan_scenario,
+)
+from .scheduler import WorkQueue, run_leases
+
+__all__ = [
+    "Lease",
+    "LeaseResult",
+    "ProcessShardExecutor",
+    "ShardPlan",
+    "ShardTask",
+    "UnitPlan",
+    "WorkQueue",
+    "default_start_method",
+    "plan_scenario",
+    "run_leases",
+]

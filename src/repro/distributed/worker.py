@@ -1,0 +1,184 @@
+"""Worker-process side of the distributed sweep scheduler.
+
+Each pool process is initialised once via :func:`initialize_worker` (spawn
+safe: it receives only strings and rebuilds everything from registries) and
+then serves :func:`execute_lease` calls.  Per-process state lives in module
+globals — one :class:`~repro.execution.ExecutionEngine` per engine
+configuration, so the transpile and calibration caches stay warm across
+every lease landing on the same configuration, and one
+:class:`~repro.store.ResultStore` connection for read-through result
+caching (sqlite WAL handles the multi-process traffic).
+
+Determinism: a worker executes a lease's units through the same
+``ExecutionEngine.run_suite`` path the single-process runner uses, with the
+same per-unit seeds, so scores are bit-identical to a thread-executor run
+regardless of which worker a unit lands on or how often its lease was
+re-issued.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import warnings
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..exceptions import BackendCapacityError, MitigationError
+from .plan import Lease, LeaseResult, ShardTask
+
+__all__ = ["initialize_worker", "execute_lease", "worker_id"]
+
+#: Per-process engine cache: (engine key, backend override, trajectories)
+#: -> ExecutionEngine.  Engines are deliberately kept for the process
+#: lifetime — their warm caches are the point of leasing multiple shards to
+#: one worker.
+_ENGINES: Dict[Tuple[str, Optional[str], Optional[int]], Any] = {}
+
+#: Per-process result store (opened from the path in worker init).
+_STORE = None
+
+#: Test-only crash hook: when set to a path and the file does not exist yet,
+#: the worker creates the file and SIGKILLs itself mid-lease (after its
+#: first unit), simulating an abrupt worker death exactly once.
+_CRASH_MARKER: Optional[str] = None
+
+
+def worker_id() -> str:
+    """Stable identity of this worker process (keys per-worker stats)."""
+    return f"pid-{os.getpid()}"
+
+
+def initialize_worker(
+    store_path: Optional[str] = None, crash_marker: Optional[str] = None
+) -> None:
+    """Process-pool initializer: open per-process handles from plain config.
+
+    Importing :mod:`repro.benchmarks` here (not at module import) keeps the
+    registration side effects inside the worker even under the ``spawn``
+    start method, where the child inherits nothing from the parent.
+    """
+    global _STORE, _CRASH_MARKER
+    import repro.benchmarks  # noqa: F401 - registers the benchmark families
+
+    _CRASH_MARKER = crash_marker
+    if store_path is not None:
+        from ..store import ResultStore
+
+        _STORE = ResultStore(store_path)
+
+
+def _engine_for(task: ShardTask):
+    """The per-process engine for a task's configuration (built once)."""
+    from ..devices import get_device
+    from ..execution import ExecutionEngine
+
+    cache_key = (task.engine.key(), task.backend_override, task.trajectories)
+    engine = _ENGINES.get(cache_key)
+    if engine is None:
+        engine = ExecutionEngine(
+            get_device(task.engine.device),
+            backend=task.backend_override or task.engine.backend,
+            max_workers=1,  # processes are the parallelism axis here
+            optimization_level=task.engine.optimization_level,
+            placement=task.engine.placement,
+            store=_STORE,
+            trajectories=task.trajectories,
+        )
+        _ENGINES[cache_key] = engine
+    return engine
+
+
+def _maybe_crash(completed_units: int, total_units: int) -> None:
+    """Die abruptly mid-lease, once, when the test crash hook is armed."""
+    if _CRASH_MARKER is None or os.path.exists(_CRASH_MARKER):
+        return
+    # Crash mid-shard: after the first unit when there are more to go,
+    # immediately for single-unit tasks.
+    if completed_units >= 1 or total_units == 1:
+        with open(_CRASH_MARKER, "w") as handle:
+            handle.write(worker_id())
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def execute_lease(lease: Lease) -> LeaseResult:
+    """Run one leased chunk of units and return their serialized outcomes.
+
+    Mirrors :func:`repro.suite.runner._run_group`: exactly one outcome
+    (run or skip) per unit, produced through ``ExecutionEngine.run_suite``
+    so the store read-through, mitigation resolution and skip semantics are
+    identical to the single-process path.
+    """
+    from ..suite.results import SpecOutcome
+    from ..suite.spec import BenchmarkSpec
+
+    task = lease.task
+    started = time.perf_counter()
+    engine = _engine_for(task)
+    stats_before = engine.stats()
+
+    benchmarks = [BenchmarkSpec.from_dict(unit.spec_dict()).build() for unit in task.units]
+    cursor = iter(task.units)
+    outcomes: List[Dict[str, Any]] = []
+
+    def on_result(benchmark, run) -> None:
+        unit = next(cursor)
+        outcomes.append(
+            SpecOutcome(
+                key=unit.key,
+                spec=unit.spec_dict(),
+                device=engine.device.name,
+                mitigation=task.mitigation,
+                index=unit.index,
+                status="ok",
+                run=run,
+                seconds=run.seconds,
+            ).as_dict()
+        )
+        _maybe_crash(len(outcomes), len(task.units))
+
+    def on_skip(benchmark, error) -> None:
+        unit = next(cursor)
+        if isinstance(error, (MitigationError, BackendCapacityError)):
+            warnings.warn(f"skipping {benchmark}: {error}", stacklevel=2)
+        outcomes.append(
+            SpecOutcome(
+                key=unit.key,
+                spec=unit.spec_dict(),
+                device=engine.device.name,
+                mitigation=task.mitigation,
+                index=unit.index,
+                status="skipped",
+                reason=str(error),
+            ).as_dict()
+        )
+        _maybe_crash(len(outcomes), len(task.units))
+
+    engine.run_suite(
+        benchmarks,
+        shots=task.shots,
+        repetitions=task.repetitions,
+        seed=task.seed,
+        mitigation=task.mitigation,
+        on_result=on_result,
+        on_skip=on_skip,
+    )
+
+    # Engines persist across leases, so report the stats *delta* — the
+    # scheduler sums deltas per worker and the totals stay correct however
+    # leases were distributed.
+    stats_after = engine.stats()
+    delta = {
+        key: stats_after[key] - stats_before.get(key, 0)
+        if not key.endswith("entries")
+        else stats_after[key]
+        for key in stats_after
+    }
+    return LeaseResult(
+        lease_id=lease.lease_id,
+        task_id=task.task_id,
+        worker=worker_id(),
+        outcomes=outcomes,
+        engine_stats=delta,
+        seconds=time.perf_counter() - started,
+    )

@@ -109,3 +109,9 @@ class SchemaVersionError(StoreError, AnalysisError):
 class ServiceError(ReproError):
     """Raised by the benchmark service layer (job queue, REST surface) for
     invalid submissions or lookups of unknown jobs."""
+
+
+class DistributedError(ReproError):
+    """Raised by the process-parallel sweep scheduler: unserializable work
+    (backend instances / Mitigator instances crossing a process boundary),
+    exhausted lease retries, or a worker pool that cannot be (re)started."""

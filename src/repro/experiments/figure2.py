@@ -48,6 +48,8 @@ def reproduce_figure2_result(
     placement: str = "noise_aware",
     partial: Optional[SuiteResult] = None,
     store=None,
+    executor: Union[str, object] = "thread",
+    processes: int = 2,
 ) -> SuiteResult:
     """Run the Fig. 2 sweep and return the full streaming suite result.
 
@@ -55,7 +57,9 @@ def reproduce_figure2_result(
     returned / persisted :class:`~repro.suite.results.SuiteResult` whose
     completed units are skipped (resumable sweeps) — and ``store`` — a
     content-addressed :class:`~repro.store.ResultStore` answering repeated
-    runs from disk with zero backend executions.
+    runs from disk with zero backend executions.  ``executor="process"``
+    runs the sweep on ``processes`` worker processes through the leased-shard
+    scheduler (see :mod:`repro.distributed`) with bit-identical scores.
     """
     scenario = figure2_scenario(
         small=small,
@@ -75,6 +79,8 @@ def reproduce_figure2_result(
         backend=backend if not isinstance(backend, str) else None,
         partial=partial,
         store=store,
+        executor=executor,
+        processes=processes,
     )
 
 

@@ -106,6 +106,8 @@ def reproduce_mitigated_scores_result(
     placement: str = "noise_aware",
     partial: Optional[SuiteResult] = None,
     store=None,
+    executor: Union[str, object] = "thread",
+    processes: int = 2,
 ) -> SuiteResult:
     """The technique sweep as a streaming, resumable suite result.
 
@@ -138,6 +140,8 @@ def reproduce_mitigated_scores_result(
         backend=backend if not isinstance(backend, str) else None,
         partial=partial,
         store=store,
+        executor=executor,
+        processes=processes,
     )
 
 

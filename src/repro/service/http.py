@@ -250,6 +250,9 @@ class BenchmarkService:
     def stats(self) -> Dict[str, Any]:
         """Combined service counters served by ``GET /stats``."""
         data: Dict[str, Any] = {"queue": self.queue.stats()}
+        engines = self.queue.engine_stats()
+        if engines:
+            data["engines"] = engines
         if self.store is not None:
             data["store"] = self.store.stats()
         return data

@@ -235,6 +235,29 @@ class JobQueue:
                 "workers": len(self._workers),
             }
 
+    def engine_stats(self) -> Dict[str, Dict[str, float]]:
+        """Engine/worker statistics aggregated across every finished job.
+
+        Keys are the suite results' ``engine_stats`` keys — shard engine keys
+        on the threaded path, ``worker-pid-<n>`` / ``"scheduler"`` entries on
+        the process-executor path — merged with the same counter-sum /
+        gauge-max rule as :meth:`SuiteResult.note_engine_stats`, so the
+        service's ``GET /stats`` shows per-worker cache traffic and lease
+        counts across the queue's lifetime.
+        """
+        with self._lock:
+            results = [job.result for job in self._jobs.values() if job.result is not None]
+        merged: Dict[str, Dict[str, float]] = {}
+        for result in results:
+            for engine_key, stats in result.engine_stats.items():
+                bucket = merged.setdefault(engine_key, {})
+                for name, value in stats.items():
+                    if name.endswith("entries"):
+                        bucket[name] = max(bucket.get(name, 0), value)
+                    else:
+                        bucket[name] = bucket.get(name, 0) + value
+        return merged
+
     def close(self, wait: bool = True) -> None:
         """Stop accepting jobs and shut the workers down (idempotent)."""
         with self._lock:

@@ -21,15 +21,15 @@ execution order and identical to a hand-written per-benchmark loop.
 from __future__ import annotations
 
 import warnings
-from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence, Union
 
 from ..devices import get_device
-from ..exceptions import BackendCapacityError, DeviceError, MitigationError
+from ..exceptions import BackendCapacityError, DeviceError, DistributedError, MitigationError
 from ..execution import Backend, ExecutionEngine
 from ..mitigation import is_raw_spec, resolve_mitigator
 from .registry import BenchmarkRegistry, get_registry
 from .results import SpecOutcome, SuiteResult
-from .sweep import RunUnit, Scenario, Shard
+from .sweep import EngineConfig, RunUnit, Scenario, Shard
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..store import ResultStore
@@ -59,6 +59,12 @@ def run_scenario(
     on_outcome: Optional[Callable[[SpecOutcome], None]] = None,
     save_path=None,
     store: Optional["ResultStore"] = None,
+    executor: Any = "thread",
+    processes: int = 2,
+    lease_timeout: Optional[float] = None,
+    max_attempts: int = 3,
+    chunk_size: Optional[int] = None,
+    heartbeat: Optional[Callable[[Dict[str, int]], None]] = None,
 ) -> SuiteResult:
     """Execute a scenario shard-by-shard and stream the aggregated results.
 
@@ -90,6 +96,22 @@ def run_scenario(
             :class:`~repro.execution.results.BenchmarkRun` and
             :class:`SpecOutcome` are written back (skips write an outcome
             row only; they are re-derived rather than cached).
+        executor: Execution strategy: ``"thread"`` (default — one engine per
+            shard, ``max_workers`` threads inside it), ``"process"`` (a
+            :class:`~repro.distributed.ProcessShardExecutor` worker-process
+            pool driven by the leased-shard scheduler — breaks the GIL
+            ceiling for the numpy-heavy simulate/transpile hot path), or any
+            executor instance with ``submit(lease)``/``capacity`` (advanced:
+            custom pools; the caller owns its lifecycle).  Scores are
+            bit-identical across all strategies at a fixed seed.
+        processes: Worker-process count for ``executor="process"``.
+        lease_timeout: Straggler re-lease deadline in seconds (process path;
+            ``None`` disables re-leasing).
+        max_attempts: Leases per task before the sweep fails (process path).
+        chunk_size: Units per leased task (process path; default splits the
+            plan into ~4 tasks per worker for load balancing).
+        heartbeat: Progress observer for the process path, called
+            periodically with the scheduler's counters.
 
     Returns:
         The :class:`SuiteResult` (the ``partial`` instance when resuming).
@@ -111,6 +133,27 @@ def run_scenario(
             "backend_override": getattr(backend, "name", backend),
         },
     )
+
+    if not (isinstance(executor, str) and executor == "thread"):
+        return _run_scenario_distributed(
+            scenario,
+            result,
+            executor,
+            shots=shots,
+            repetitions=repetitions,
+            seed=seed,
+            devices=devices,
+            trajectories=trajectories,
+            backend=backend,
+            on_outcome=on_outcome,
+            save_path=save_path,
+            store=store,
+            processes=processes,
+            lease_timeout=lease_timeout,
+            max_attempts=max_attempts,
+            chunk_size=chunk_size,
+            heartbeat=heartbeat,
+        )
 
     for shard in scenario.shards(devices):
         pending_groups = [
@@ -223,3 +266,167 @@ def _run_group(
         on_result=on_result,
         on_skip=on_skip,
     )
+
+
+def _run_scenario_distributed(
+    scenario: Scenario,
+    result: SuiteResult,
+    executor: Any,
+    shots: int,
+    repetitions: int,
+    seed: Optional[int],
+    devices: Optional[Sequence[str]],
+    trajectories: Optional[int],
+    backend: Union[Backend, str, None],
+    on_outcome: Optional[Callable[[SpecOutcome], None]],
+    save_path,
+    store: Optional["ResultStore"],
+    processes: int,
+    lease_timeout: Optional[float],
+    max_attempts: int,
+    chunk_size: Optional[int],
+    heartbeat: Optional[Callable[[Dict[str, int]], None]],
+) -> SuiteResult:
+    """Process-executor path of :func:`run_scenario`.
+
+    The parent plans the scenario's pending remainder into picklable leased
+    tasks, pre-resolves store-warm units locally (they never ship to a
+    worker), drives the plan through the scheduler, and merges the streamed
+    outcome payloads back into ``result`` — scores bit-identical to the
+    thread path because every unit runs with the same per-unit seed through
+    the same ``run_suite`` code inside the workers.
+    """
+    from ..distributed import ProcessShardExecutor, plan_scenario, run_leases
+
+    if backend is not None and not isinstance(backend, str):
+        raise DistributedError(
+            "backend instances cannot cross the process boundary; pass the "
+            "backend by name (workers construct their own)"
+        )
+    # Workers open their own WAL connection to a file-backed store; an
+    # in-memory store cannot be shared, so workers run storeless and the
+    # parent writes runs back on their behalf below.
+    store_path = store.path if store is not None and store.path != ":memory:" else None
+
+    # Parent-side engines used only for content keys (store pre-resolution
+    # and write-through); they never execute anything.
+    key_engines: Dict[str, ExecutionEngine] = {}
+
+    def key_engine(config: EngineConfig) -> ExecutionEngine:
+        engine = key_engines.get(config.key())
+        if engine is None:
+            engine = ExecutionEngine(
+                get_device(config.device),
+                backend=backend if backend is not None else config.backend,
+                max_workers=1,
+                optimization_level=config.optimization_level,
+                placement=config.placement,
+                trajectories=trajectories,
+            )
+            key_engines[config.key()] = engine
+        return engine
+
+    def record(outcome: SpecOutcome, config: EngineConfig, mitigation: str) -> None:
+        result.add(outcome)
+        if store is not None:
+            key = key_engine(config).content_key(
+                outcome.key.split("|", 1)[0], shots, repetitions, seed,
+                mitigation=mitigation,
+            )
+            store.put_outcome(key, outcome, scenario=scenario.name)
+            if store_path is None and outcome.run is not None:
+                # Workers had no store handle; persist their runs here so an
+                # in-memory store ends up as warm as on the thread path.
+                store.put_run(key, outcome.run)
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    try:
+        completed = set(result.completed_keys())
+        if store is not None:
+            prewarmed = 0
+            for shard in scenario.shards(devices):
+                engine = key_engine(shard.engine)
+                for mitigation, units in shard.groups:
+                    for unit in units:
+                        if unit.key() in completed:
+                            continue
+                        key = engine.content_key(
+                            unit.key().split("|", 1)[0], shots, repetitions, seed,
+                            mitigation=mitigation,
+                        )
+                        run = store.get_run(key)
+                        if run is None:
+                            continue
+                        record(
+                            SpecOutcome(
+                                key=unit.key(),
+                                spec=unit.spec.as_dict(),
+                                device=engine.device.name,
+                                mitigation=unit.mitigation_label,
+                                index=unit.index,
+                                status="ok",
+                                run=run,
+                                seconds=run.seconds,
+                            ),
+                            shard.engine,
+                            str(mitigation),
+                        )
+                        completed.add(unit.key())
+                        prewarmed += 1
+            if prewarmed:
+                result.note_engine_stats("scheduler", {"prewarmed_units": prewarmed})
+
+        owns_executor = False
+        if isinstance(executor, str):
+            if executor != "process":
+                raise DistributedError(
+                    f"unknown executor {executor!r}; use 'thread', 'process' or "
+                    "an executor instance"
+                )
+            executor = ProcessShardExecutor(processes=processes, store_path=store_path)
+            owns_executor = True
+
+        plan = plan_scenario(
+            scenario,
+            devices,
+            completed=frozenset(completed),
+            shots=shots,
+            repetitions=repetitions,
+            seed=seed,
+            trajectories=trajectories,
+            backend_override=backend,
+            store_path=store_path,
+            processes=max(1, int(getattr(executor, "capacity", processes))),
+            chunk_size=chunk_size,
+        )
+
+        def on_outcomes(lease, payloads) -> None:
+            for payload in payloads:
+                record(SpecOutcome.from_dict(payload), lease.task.engine, lease.task.mitigation)
+            if payloads and save_path is not None:
+                result.to_json(save_path)
+
+        try:
+            if plan.tasks:
+                stats = run_leases(
+                    plan,
+                    executor,
+                    on_outcomes,
+                    lease_timeout=lease_timeout,
+                    max_attempts=max_attempts,
+                    heartbeat=heartbeat,
+                )
+                for worker, worker_stats in sorted(stats["workers"].items()):
+                    result.note_engine_stats(f"worker-{worker}", worker_stats)
+                result.note_engine_stats("scheduler", stats["scheduler"])
+        finally:
+            if owns_executor:
+                executor.close()
+    finally:
+        for engine in key_engines.values():
+            engine.close()
+
+    if save_path is not None:
+        result.to_json(save_path)
+    return result
