@@ -32,12 +32,14 @@ Regenerate the committed baseline with::
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
 import time
 from typing import Callable, Dict, List
 
+import numpy as np
 import pytest
 
 from repro.circuits import circuit_moments, liveness_matrix
@@ -151,6 +153,10 @@ def measure_feature_extraction() -> Dict[str, float]:
     circuits = _feature_circuits()
     legacy = _time(lambda: [legacy_compute_features(c) for c in circuits])
     single_pass = _time(lambda: compute_features_many(circuits))
+    # Bit-identical feature golden: the digest of the raw float64 feature
+    # matrix is committed in the baseline, so any extractor port (e.g. the
+    # columnar rewrite) that drifts by even one ulp fails the gate.
+    digest = hashlib.sha256(np.ascontiguousarray(compute_features_many(circuits)).tobytes())
     return {
         "legacy_seconds": legacy,
         "single_pass_seconds": single_pass,
@@ -158,6 +164,7 @@ def measure_feature_extraction() -> Dict[str, float]:
         "circuits": len(circuits),
         "min_qubits": min(c.num_qubits for c in circuits),
         "max_qubits": max(c.num_qubits for c in circuits),
+        "features_digest": digest.hexdigest(),
     }
 
 
@@ -254,6 +261,12 @@ def test_feature_extraction_speedup():
             f"feature_extraction: speedup {result['speedup']:.1f}x regressed more "
             f"than {(1 - REGRESSION_TOLERANCE):.0%} vs committed gate {committed:.1f}x"
         )
+        golden_digest = baseline["feature_extraction"].get("features_digest")
+        if golden_digest:
+            assert result["features_digest"] == golden_digest, (
+                "feature vectors drifted from the committed golden digest — the "
+                "extractor is no longer bit-identical"
+            )
 
 
 def test_scenario_expansion_throughput():

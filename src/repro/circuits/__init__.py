@@ -7,10 +7,26 @@ Public API:
 * :func:`circuit_moments`, :func:`liveness_matrix` — ASAP layering.
 * :func:`circuit_dag`, :func:`two_qubit_critical_path` — dependency analysis.
 * :func:`circuit_to_qasm`, :func:`circuit_from_qasm` — OpenQASM 2.0 round trip.
+* :class:`PackedCircuit`, :func:`pack_circuit` — the columnar (packed) form
+  behind ``Circuit.packed()`` (see ``docs/ir.md``).
 * Random circuit generators in :mod:`repro.circuits.random_circuits`.
 """
 
 from .circuit import Circuit, Instruction
+from .columnar import (
+    BARRIER_OP,
+    MEASURE_OP,
+    OP_ARITY,
+    OP_IS_UNITARY,
+    OP_NAMES,
+    OP_NUM_PARAMS,
+    OPCODE_TABLE_DIGEST,
+    OPCODES,
+    PackedCircuit,
+    QUBIT_SLOTS,
+    RESET_OP,
+    pack_circuit,
+)
 from .dag import circuit_dag, critical_path_length, two_qubit_critical_path
 from .gates import (
     BARRIER,
@@ -45,6 +61,18 @@ __all__ = [
     "gate_matrix",
     "is_known_gate",
     "standard_gate",
+    "PackedCircuit",
+    "pack_circuit",
+    "OPCODES",
+    "OP_NAMES",
+    "OP_ARITY",
+    "OP_NUM_PARAMS",
+    "OP_IS_UNITARY",
+    "OPCODE_TABLE_DIGEST",
+    "MEASURE_OP",
+    "RESET_OP",
+    "BARRIER_OP",
+    "QUBIT_SLOTS",
     "circuit_moments",
     "circuit_depth",
     "liveness_matrix",

@@ -16,7 +16,8 @@ import networkx as nx
 import numpy as np
 
 from ..exceptions import CircuitError
-from .gates import BARRIER, GATE_DEFINITIONS, Gate, MEASURE, RESET
+from .columnar import PackedCircuit, pack_circuit
+from .gates import BARRIER, GATE_DEFINITIONS, Gate, MEASURE, NON_UNITARY_NAMES, RESET
 
 __all__ = ["Instruction", "Circuit"]
 
@@ -116,6 +117,11 @@ class Circuit:
         self.num_clbits = int(num_clbits) if num_clbits is not None else int(num_qubits)
         self.name = name
         self._instructions: List[Instruction] = []
+        # Tallies maintained on append so the counter queries are O(1).
+        self._num_multi_qubit = 0
+        self._num_measurements = 0
+        self._num_resets = 0
+        self._packed: PackedCircuit | None = None
 
     # ------------------------------------------------------------------
     # container protocol
@@ -154,6 +160,10 @@ class Circuit:
     def copy(self) -> "Circuit":
         new = Circuit(self.num_qubits, self.num_clbits, self.name)
         new._instructions = list(self._instructions)
+        new._num_multi_qubit = self._num_multi_qubit
+        new._num_measurements = self._num_measurements
+        new._num_resets = self._num_resets
+        new._packed = self._packed  # immutable, safe to share
         return new
 
     def _check_qubits(self, qubits: Sequence[int]) -> None:
@@ -175,6 +185,14 @@ class Circuit:
         self._check_qubits(instruction.qubits)
         self._check_clbits(instruction.clbits)
         self._instructions.append(instruction)
+        name = instruction.gate.name
+        if name == "measure":
+            self._num_measurements += 1
+        elif name == "reset":
+            self._num_resets += 1
+        elif len(instruction.qubits) >= 2 and name not in NON_UNITARY_NAMES:
+            self._num_multi_qubit += 1
+        self._packed = None
         return self
 
     def add_gate(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> "Circuit":
@@ -336,6 +354,31 @@ class Circuit:
         return self.append(Instruction(BARRIER, targets))
 
     # ------------------------------------------------------------------
+    # columnar form
+    # ------------------------------------------------------------------
+    def packed(self) -> PackedCircuit:
+        """The circuit lowered to its columnar form (cached, lossless).
+
+        The cache is invalidated by :meth:`append` (the single mutation
+        funnel every builder goes through) and additionally validated
+        against the instruction count and register sizes, so late
+        ``num_clbits`` growth (``measure_all`` on a narrow register) or
+        direct attribute mutation never serves a stale pack.
+        """
+        cached = self._packed
+        if (
+            cached is not None
+            and len(cached) == len(self._instructions)
+            and cached.num_qubits == self.num_qubits
+            and cached.num_clbits == self.num_clbits
+            and cached.name == self.name
+        ):
+            return cached
+        packed = pack_circuit(self)
+        self._packed = packed
+        return packed
+
+    # ------------------------------------------------------------------
     # structural queries
     # ------------------------------------------------------------------
     def count_ops(self) -> Dict[str, int]:
@@ -359,14 +402,14 @@ class Circuit:
         return total
 
     def num_two_qubit_gates(self) -> int:
-        """Number of unitary operations touching two or more qubits."""
-        return sum(1 for instruction in self._instructions if instruction.is_multi_qubit())
+        """Number of unitary operations touching two or more qubits (O(1))."""
+        return self._num_multi_qubit
 
     def num_measurements(self) -> int:
-        return sum(1 for instruction in self._instructions if instruction.is_measurement())
+        return self._num_measurements
 
     def num_resets(self) -> int:
-        return sum(1 for instruction in self._instructions if instruction.is_reset())
+        return self._num_resets
 
     def measured_qubits(self) -> Tuple[int, ...]:
         """Qubits measured at least once, in first-measurement order."""

@@ -1,0 +1,271 @@
+"""Columnar (packed) circuit representation.
+
+A :class:`PackedCircuit` stores a circuit as parallel numpy arrays with one
+row per instruction — the arrays-of-ints IR the hot paths vectorise over:
+
+==================  =======================================================
+column              contents
+==================  =======================================================
+``opcodes``         ``uint16`` opcode id per row (see the opcode table)
+``qubits``          ``int32 (m, 3)`` operand qubit indices in gate order,
+                    ``-1`` in unused trailing slots
+``clbits``          ``int32`` classical bit written by a measurement row,
+                    ``-1`` otherwise
+``param_offsets``   ``int64 (m + 1)`` prefix offsets into ``params``; row
+                    ``i``'s parameters are ``params[off[i]:off[i + 1]]``
+``params``          shared ``float64`` parameter pool
+``wide_rows`` /     escape hatch for the (rare) rows with more than three
+``wide_offsets`` /  operands — only ``barrier`` has variable arity.  Such a
+``wide_qubits``     row's fixed-width slots are all ``-1`` and its full
+                    operand list lives in the ``wide_qubits`` pool
+==================  =======================================================
+
+plus the per-circuit metadata (``num_qubits``, ``num_clbits``, ``name``).
+
+The representation is **lossless**: :meth:`PackedCircuit.unpack` rebuilds an
+equal :class:`~repro.circuits.circuit.Circuit` instruction for instruction
+(property-tested over every gate arity, measure/reset/barrier and parameter
+shapes).  Circuits expose a cached accessor —
+:meth:`~repro.circuits.circuit.Circuit.packed` — invalidated on append, so
+consumers (feature extraction, kernel plan compilation, analysis passes,
+fingerprinting) share one pack per circuit.
+
+**Opcode table versioning.**  Opcode ids are assigned from the insertion
+order of :data:`~repro.circuits.gates.GATE_DEFINITIONS`, which is therefore
+append-only: new gates must be registered *before* the ``measure`` /
+``reset`` / ``barrier`` tail never reordered, or every persisted circuit
+fingerprint changes.  :data:`OPCODE_TABLE_DIGEST` condenses the table into a
+hash that the circuit fingerprint includes, so an (accidental or deliberate)
+table change loudly changes every fingerprint instead of silently colliding
+with pre-change ones.  See ``docs/ir.md`` for the full migration story.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .gates import GATE_DEFINITIONS, Gate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (circuit imports us)
+    from .circuit import Circuit
+
+__all__ = [
+    "OPCODES",
+    "OP_NAMES",
+    "OP_ARITY",
+    "OP_NUM_PARAMS",
+    "OP_IS_UNITARY",
+    "MEASURE_OP",
+    "RESET_OP",
+    "BARRIER_OP",
+    "QUBIT_SLOTS",
+    "OPCODE_TABLE_DIGEST",
+    "PackedCircuit",
+    "pack_circuit",
+]
+
+#: Fixed operand columns; the only variable-arity operation (``barrier``)
+#: overflows into the wide pool when it covers more than three qubits.
+QUBIT_SLOTS = 3
+
+#: Opcode id per operation name, assigned from GATE_DEFINITIONS insertion
+#: order (append-only — see the module docstring).
+OPCODES: Dict[str, int] = {name: index for index, name in enumerate(GATE_DEFINITIONS)}
+
+#: Operation name per opcode id (the inverse of :data:`OPCODES`).
+OP_NAMES: Tuple[str, ...] = tuple(GATE_DEFINITIONS)
+
+#: Declared qubit arity per opcode (0 for the variable-arity ``barrier``).
+OP_ARITY = np.array([d.num_qubits for d in GATE_DEFINITIONS.values()], dtype=np.int8)
+
+#: Parameter count per opcode.
+OP_NUM_PARAMS = np.array([d.num_params for d in GATE_DEFINITIONS.values()], dtype=np.int8)
+
+#: True per opcode for unitary gates (False for measure/reset/barrier).
+OP_IS_UNITARY = np.array([d.is_unitary for d in GATE_DEFINITIONS.values()], dtype=bool)
+
+MEASURE_OP: int = OPCODES["measure"]
+RESET_OP: int = OPCODES["reset"]
+BARRIER_OP: int = OPCODES["barrier"]
+
+
+def _opcode_table_digest() -> str:
+    """Hash of the full opcode table (ids, names, arities, parameter counts).
+
+    Folded into every circuit fingerprint: any change to the table — a new
+    gate, a reorder, an arity change — changes the digest and therefore every
+    fingerprint, turning silent cache-key collisions into loud misses.
+    """
+    hasher = hashlib.sha1()
+    for name, definition in GATE_DEFINITIONS.items():
+        hasher.update(
+            f"{OPCODES[name]}:{name}:{definition.num_qubits}:{definition.num_params};".encode()
+        )
+    return hasher.hexdigest()
+
+
+#: Digest of the opcode table this build packs circuits with.
+OPCODE_TABLE_DIGEST: str = _opcode_table_digest()
+
+#: Sentinel padding per operand count (index by ``len(qubits)``).
+_PAD: Tuple[Tuple[int, ...], ...] = ((-1, -1, -1), (-1, -1), (-1,), ())
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+@dataclass(frozen=True)
+class PackedCircuit:
+    """A circuit lowered to parallel numpy columns (see the module docstring).
+
+    Instances are immutable (all arrays are read-only) and therefore safe to
+    cache on the producing circuit and share across copies and threads.
+    """
+
+    num_qubits: int
+    num_clbits: int
+    opcodes: np.ndarray
+    qubits: np.ndarray
+    clbits: np.ndarray
+    param_offsets: np.ndarray
+    params: np.ndarray
+    wide_rows: np.ndarray
+    wide_offsets: np.ndarray
+    wide_qubits: np.ndarray
+    name: str = ""
+
+    def __len__(self) -> int:
+        return int(self.opcodes.shape[0])
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self)
+
+    @property
+    def has_wide_rows(self) -> bool:
+        return self.wide_rows.size > 0
+
+    # ------------------------------------------------------------------
+    # row access
+    # ------------------------------------------------------------------
+    def row_qubits(self, row: int) -> Tuple[int, ...]:
+        """Operand qubits of one row, in gate order (handles wide rows)."""
+        if self.wide_rows.size:
+            hits = np.nonzero(self.wide_rows == row)[0]
+            if hits.size:
+                index = int(hits[0])
+                start, stop = self.wide_offsets[index], self.wide_offsets[index + 1]
+                return tuple(int(q) for q in self.wide_qubits[start:stop])
+        return tuple(int(q) for q in self.qubits[row] if q >= 0)
+
+    def row_params(self, row: int) -> Tuple[float, ...]:
+        start, stop = self.param_offsets[row], self.param_offsets[row + 1]
+        return tuple(float(p) for p in self.params[start:stop])
+
+    def iter_rows(self) -> Iterator[Tuple[int, int, Tuple[int, ...], Tuple[float, ...], int]]:
+        """Yield ``(row, opcode, qubits, params, clbit)`` per instruction.
+
+        The shared row iterator of every packed consumer that still needs a
+        Python-level walk (plan compilation, unpacking); materialises the
+        columns as lists once instead of per-element array indexing.
+        """
+        opcodes = self.opcodes.tolist()
+        qubit_rows = self.qubits.tolist()
+        clbits = self.clbits.tolist()
+        offsets = self.param_offsets.tolist()
+        pool = self.params.tolist()
+        wide: Dict[int, Tuple[int, ...]] = {}
+        if self.wide_rows.size:
+            wide_offsets = self.wide_offsets.tolist()
+            wide_pool = self.wide_qubits.tolist()
+            for index, row in enumerate(self.wide_rows.tolist()):
+                wide[row] = tuple(wide_pool[wide_offsets[index] : wide_offsets[index + 1]])
+        for row, opcode in enumerate(opcodes):
+            if wide:
+                qubits = wide.get(row)
+                if qubits is None:
+                    qubits = tuple(q for q in qubit_rows[row] if q >= 0)
+            else:
+                qubits = tuple(q for q in qubit_rows[row] if q >= 0)
+            yield row, opcode, qubits, tuple(pool[offsets[row] : offsets[row + 1]]), clbits[row]
+
+    # ------------------------------------------------------------------
+    # hashing / round trip
+    # ------------------------------------------------------------------
+    def buffers(self) -> Iterator[Tuple[str, np.ndarray]]:
+        """The raw column buffers in a stable order (fingerprint input)."""
+        yield "opcodes", self.opcodes
+        yield "qubits", self.qubits
+        yield "clbits", self.clbits
+        yield "param_offsets", self.param_offsets
+        yield "params", self.params
+        yield "wide_rows", self.wide_rows
+        yield "wide_offsets", self.wide_offsets
+        yield "wide_qubits", self.wide_qubits
+
+    def unpack(self) -> "Circuit":
+        """Rebuild an equal :class:`Circuit` (exact instruction round trip)."""
+        from .circuit import Circuit, Instruction
+
+        circuit = Circuit(self.num_qubits, self.num_clbits, self.name)
+        for _row, opcode, qubits, params, clbit in self.iter_rows():
+            gate = Gate(OP_NAMES[opcode], params)
+            clbits = (clbit,) if clbit >= 0 else ()
+            circuit.append(Instruction(gate, qubits, clbits))
+        return circuit
+
+
+def pack_circuit(circuit: "Circuit") -> PackedCircuit:
+    """Lower a :class:`Circuit` to its columnar form (lossless)."""
+    opcode_ids = OPCODES
+    pad = _PAD
+    opcode_list: List[int] = []
+    qubit_list: List[Tuple[int, ...]] = []
+    clbit_list: List[int] = []
+    offsets: List[int] = [0]
+    param_pool: List[float] = []
+    wide_rows: List[int] = []
+    wide_offsets: List[int] = [0]
+    wide_pool: List[int] = []
+
+    for row, instruction in enumerate(circuit):
+        gate = instruction.gate
+        opcode_list.append(opcode_ids[gate.name])
+        qubits = instruction.qubits
+        arity = len(qubits)
+        if arity <= QUBIT_SLOTS:
+            qubit_list.append(qubits + pad[arity])
+        else:
+            qubit_list.append(pad[0])
+            wide_rows.append(row)
+            wide_pool.extend(qubits)
+            wide_offsets.append(len(wide_pool))
+        clbits = instruction.clbits
+        clbit_list.append(clbits[0] if clbits else -1)
+        params = gate.params
+        if params:
+            param_pool.extend(params)
+        offsets.append(len(param_pool))
+
+    m = len(opcode_list)
+    return PackedCircuit(
+        num_qubits=circuit.num_qubits,
+        num_clbits=circuit.num_clbits,
+        opcodes=_frozen(np.array(opcode_list, dtype=np.uint16)),
+        qubits=_frozen(
+            np.array(qubit_list, dtype=np.int32).reshape(m, QUBIT_SLOTS)
+        ),
+        clbits=_frozen(np.array(clbit_list, dtype=np.int32)),
+        param_offsets=_frozen(np.array(offsets, dtype=np.int64)),
+        params=_frozen(np.array(param_pool, dtype=np.float64)),
+        wide_rows=_frozen(np.array(wide_rows, dtype=np.int64)),
+        wide_offsets=_frozen(np.array(wide_offsets, dtype=np.int64)),
+        wide_qubits=_frozen(np.array(wide_pool, dtype=np.int32)),
+        name=circuit.name,
+    )

@@ -23,17 +23,33 @@ over it.
 from __future__ import annotations
 
 import hashlib
+import struct
+import sys
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..circuits import Circuit
+from ..circuits.columnar import OPCODE_TABLE_DIGEST
 from ..devices import Device
 from ..simulation.noise_model import NoiseModel
 from ..transpiler import TranspiledCircuit, preset_pipeline, transpile
 from ..transpiler.placement import Placement
 
-__all__ = ["circuit_fingerprint", "CacheEntry", "TranspileCache"]
+__all__ = ["FINGERPRINT_VERSION", "circuit_fingerprint", "CacheEntry", "TranspileCache"]
+
+#: Version of the fingerprint scheme.  v1 hashed per-instruction ``repr()``
+#: strings; v2 hashes the packed columnar buffers (PR 8).  Bump this whenever
+#: the bytes fed to the hash change meaning — the version is part of the
+#: hashed header, so old and new fingerprints can never collide silently.
+#: Persisted-key consumers version independently via
+#: ``repro.store.keys.KEY_SCHEMA`` (see docs/ir.md for the migration story).
+FINGERPRINT_VERSION = 2
+
+_FINGERPRINT_HEADER = (
+    f"repro-circuit-v{FINGERPRINT_VERSION}:{OPCODE_TABLE_DIGEST};".encode()
+)
+_NATIVE_LITTLE = sys.byteorder == "little"
 
 
 def circuit_fingerprint(circuit: Circuit) -> str:
@@ -42,15 +58,23 @@ def circuit_fingerprint(circuit: Circuit) -> str:
     Two circuits with the same qubit/clbit counts and the same instruction
     sequence (gate names, parameters, qubit and clbit operands) produce the
     same fingerprint, independently of object identity or circuit name.
+
+    The hash runs over the packed columnar buffers
+    (:meth:`~repro.circuits.circuit.Circuit.packed`): a handful of
+    ``hashlib`` updates on contiguous arrays instead of one per
+    instruction.  Parameters are hashed as their raw little-endian float64
+    bytes, so equal floats always hash equal regardless of ``repr()``
+    formatting.  The header pins the fingerprint version and the opcode
+    table digest: any change to either loudly changes every fingerprint.
     """
-    hasher = hashlib.sha1()
-    hasher.update(f"{circuit.num_qubits},{circuit.num_clbits};".encode())
-    for instruction in circuit:
-        hasher.update(instruction.gate.name.encode())
-        hasher.update(repr(instruction.gate.params).encode())
-        hasher.update(repr(instruction.qubits).encode())
-        hasher.update(repr(instruction.clbits).encode())
-        hasher.update(b"|")
+    packed = circuit.packed()
+    hasher = hashlib.sha1(_FINGERPRINT_HEADER)
+    hasher.update(struct.pack("<qq", packed.num_qubits, packed.num_clbits))
+    for _label, buffer in packed.buffers():
+        if not _NATIVE_LITTLE:  # pragma: no cover - big-endian hosts only
+            buffer = buffer.astype(buffer.dtype.newbyteorder("<"))
+        hasher.update(struct.pack("<q", buffer.size))
+        hasher.update(buffer.tobytes())
     return hasher.hexdigest()
 
 

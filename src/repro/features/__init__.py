@@ -6,6 +6,7 @@ from .features import (
     CircuitProfile,
     FeatureVector,
     circuit_profile,
+    packed_profile,
     compute_features,
     compute_features_many,
     critical_depth,
@@ -23,6 +24,7 @@ __all__ = [
     "TYPICAL_FEATURE_NAMES",
     "CircuitProfile",
     "circuit_profile",
+    "packed_profile",
     "FeatureVector",
     "compute_features",
     "compute_features_many",

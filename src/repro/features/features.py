@@ -14,34 +14,37 @@ features (qubit count, two-qubit gate count, depth) used as the comparison
 baseline in Fig. 3.
 
 Implementation: all six features derive from one :class:`CircuitProfile`
-built in a **single walk** over the circuit — ASAP layer assignment,
-interaction edges, the two-qubit critical-path DP and the operation tallies
-are accumulated together, and the per-moment accounting (layer occupancy,
-liveness, collapse layers) is finished with vectorised ``numpy`` histogram
-operations.  The seed implementation re-traversed the circuit six times
-(once per feature, each rebuilding the moment structure or the ``networkx``
-interaction graph); this is the hot path for large coverage sweeps, where
-the single-pass extractor is gated at >= 3x faster on 20+-qubit circuits
-(``benchmarks/bench_suite.py``).  The numerical results are bit-identical
-to the per-feature definitions (asserted against the reference
-implementations on the :class:`~repro.circuits.Circuit` API by the feature
-tests).
+computed from the circuit's **packed columnar form**
+(:meth:`~repro.circuits.circuit.Circuit.packed`).  Plain gate streams — no
+barriers, no 3-qubit rows — take a fully vectorised path: the ASAP layer /
+critical-path DP runs over a row-level dependency DAG built from one
+composite-key sort of the operand columns, with per-row ``(chain length,
+two-qubit count)`` packed into single integers so the lexicographic maximum
+of Eq. 2 is an ordinary integer ``max``; interaction edges, qubit touches
+and collapse layers fall out of the same arrays.  Circuits with barriers or
+3-qubit gates fall back to an instruction-ordered walk over the packed rows
+with semantics identical to the original object walk.  Both paths are
+bit-identical to the per-feature definitions (asserted by the feature
+parity tests and the committed goldens) and the vectorised path is gated at
+>= 5x on 1k-qubit circuits (``benchmarks/bench_ir.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
 from ..circuits import Circuit
+from ..circuits.columnar import BARRIER_OP, MEASURE_OP, PackedCircuit, RESET_OP
 
 __all__ = [
     "FEATURE_NAMES",
     "TYPICAL_FEATURE_NAMES",
     "CircuitProfile",
     "circuit_profile",
+    "packed_profile",
     "program_communication",
     "critical_depth",
     "entanglement_ratio",
@@ -75,7 +78,7 @@ def _clip_unit(value: float) -> float:
 
 @dataclass(frozen=True)
 class CircuitProfile:
-    """Structural statistics of one circuit, gathered in a single walk.
+    """Structural statistics of one circuit, gathered in a single pass.
 
     Attributes:
         num_qubits: Width of the circuit.
@@ -166,22 +169,213 @@ class CircuitProfile:
 
 
 def circuit_profile(circuit: Circuit) -> CircuitProfile:
-    """Build a :class:`CircuitProfile` in one walk over the instructions.
+    """Build a :class:`CircuitProfile` from the circuit's packed form."""
+    return packed_profile(circuit.packed())
 
-    The walk fuses four historically separate traversals:
 
-    * ASAP layer assignment (per-qubit frontier, barrier synchronisation) —
-      the moment structure of Eqs. 4-6;
-    * the interaction-edge set of Eq. 1;
-    * the longest-dependency-chain DP of Eq. 2, carried per qubit as the
-      lexicographic maximum of ``(chain length, two-qubit gates on chain)``;
-    * operation tallies and mid-circuit collapse candidates.
+def packed_profile(packed: PackedCircuit) -> CircuitProfile:
+    """Build a :class:`CircuitProfile` from a :class:`PackedCircuit`.
 
-    Per-moment accounting (operation histogram, collapse layers) is then
-    finished with vectorised numpy operations over the per-instruction
-    records.
+    Dispatches between the fully vectorised path (plain 1q/2q gate streams,
+    the overwhelmingly common case) and an instruction-ordered fallback walk
+    that handles barriers, 3-qubit gates and wide rows with semantics
+    identical to the original per-instruction object walk.
+
+    The vectorised DP carries a fixed numpy setup cost, so small circuits
+    (below :data:`_FAST_PATH_MIN_ROWS` rows, where the row walk is cheaper
+    than that setup) always take the general walk; both paths are pinned
+    bit-identical to each other in ``tests/features/test_packed_parity.py``.
     """
-    n = circuit.num_qubits
+    m = len(packed)
+    if m == 0:
+        return CircuitProfile(
+            num_qubits=packed.num_qubits,
+            depth=0,
+            total_operations=0,
+            two_qubit_operations=0,
+            interaction_edges=0,
+            qubit_touches=0,
+            critical_length=0,
+            critical_two_qubit=0,
+            collapse_layers=0,
+            moment_operations=np.zeros(0, dtype=np.int64),
+        )
+    # The fast path packs (chain length, two-qubit count) into one integer
+    # and (qubit, position) into another; bail out to the general walk when
+    # either composite key could overflow 63 bits (astronomically large
+    # circuits only), and below the row count where the DP's fixed numpy
+    # setup cost exceeds the whole row walk.
+    position_bits = (2 * m).bit_length()
+    fits = (m + 1).bit_length() * 2 < 62 and packed.num_qubits.bit_length() + position_bits < 62
+    if (
+        m >= _FAST_PATH_MIN_ROWS
+        and fits
+        and not packed.has_wide_rows
+        and not (packed.qubits[:, 2] >= 0).any()
+        and not (packed.opcodes == BARRIER_OP).any()
+    ):
+        return _packed_profile_fast(packed)
+    return _packed_profile_general(packed)
+
+
+#: Row count below which the general walk beats the vectorised DP (the DP
+#: pays ~0.4 ms of fixed array setup; the walk costs well under a
+#: microsecond per row).  Measured crossover is near 800 rows; benchmarked
+#: at both scales by ``benchmarks/bench_suite.py`` (small suite circuits)
+#: and ``benchmarks/bench_ir.py`` (1k/10k-qubit brickwork).
+_FAST_PATH_MIN_ROWS = 768
+
+
+def _packed_profile_fast(packed: PackedCircuit) -> CircuitProfile:
+    """Vectorised profile for barrier-free circuits of 1q/2q operations.
+
+    The per-instruction walk is replaced by a DP over the row-level
+    dependency DAG:
+
+    1. One sort of the composite keys ``(qubit << SHIFT) | flat_position``
+       groups operand slots by qubit with row order preserved inside each
+       group (the position occupies the low bits), giving each row its
+       predecessor row on each operand without a stable argsort.
+    2. Rows are processed in dependency-closed runs: a run is the maximal
+       row prefix whose predecessors all precede the run, found by an
+       adaptive windowed scan, and each run's DP update is a handful of
+       vectorised gathers.  ``keys[row] = max(keys[pred]) + B + is_two_qubit``
+       packs Eq. 2's lexicographic ``(chain length, two-qubit count)`` into
+       a single integer (``B`` a power of two above any possible count), so
+       the maximum over chains is an integer ``max`` and the ASAP level is
+       ``(keys[row] >> bits) - 1`` — barriers being absent, the moment of a
+       row equals its chain length minus one.
+    3. Edges, touches, moments and collapse layers are array reductions
+       over the same sorted keys (last touch per qubit detects mid-circuit
+       measurements).
+    """
+    n = packed.num_qubits
+    m = len(packed)
+    ops = packed.opcodes
+    bits = (m + 1).bit_length()
+    B = 1 << bits
+
+    # -- per-row predecessors from one composite-key sort ----------------
+    flat = packed.qubits[:, :2].ravel().astype(np.int64)  # row-major (m, 2)
+    valid = flat >= 0
+    vpos = np.nonzero(valid)[0]
+    shift = (2 * m).bit_length()
+    sorted_keys = np.sort((flat[valid] << shift) | vpos)
+    spos = sorted_keys & ((1 << shift) - 1)
+    sq = sorted_keys >> shift
+    srow = spos >> 1
+    same = sq[1:] == sq[:-1]
+    sprev = np.full(sq.size, -1, dtype=np.int64)
+    sprev[1:][same] = srow[:-1][same]
+    prev_flat = np.full(2 * m, -1, dtype=np.int64)
+    prev_flat[spos] = sprev
+    prev = prev_flat.reshape(m, 2)
+    p0 = prev[:, 0]
+    p1 = prev[:, 1]
+    maxprev = np.maximum(p0, p1)
+
+    # Last row touching each qubit (tail of each sorted group).
+    group_last = np.nonzero(np.append(~same, True))[0]
+    last_touch = np.full(n, -1, dtype=np.int64)
+    last_touch[sq[group_last]] = srow[group_last]
+
+    # -- run-structured DP over the row DAG ------------------------------
+    q1_col = flat[1::2]
+    is_two = q1_col >= 0
+    step = B + is_two  # int64: chain length always advances, 2q count iff 2q row
+    keys = np.zeros(m + 1, dtype=np.int64)  # keys[-1] is the zero sentinel
+    scratch = np.empty(m, dtype=np.int64)
+    start = 0
+    window = max(min(n, m), 8)
+    while start < m:
+        # Find the maximal run [start, end) whose predecessors all precede
+        # ``start``; maxprev[start] < start always holds, so progress is
+        # guaranteed.  The window doubles on miss and resets to the last
+        # run length, keeping the scan linear overall.
+        while True:
+            probe_end = min(start + window, m)
+            blocked = maxprev[start:probe_end] >= start
+            offset = int(np.argmax(blocked))
+            if blocked[offset]:
+                end = start + offset
+                break
+            if probe_end == m:
+                end = m
+                break
+            window <<= 1
+        run = scratch[: end - start]
+        # prev == -1 gathers keys[-1] == 0, the empty-chain sentinel.
+        np.maximum(keys[p0[start:end]], keys[p1[start:end]], out=run)
+        np.add(run, step[start:end], out=keys[start:end])
+        window = max(end - start, 8)
+        start = end
+
+    row_keys = keys[:m]
+    best = int(row_keys.max())
+    critical_length = best >> bits
+    critical_two_qubit = best & (B - 1)
+    levels = row_keys >> bits
+    levels -= 1
+    depth = int(levels.max()) + 1
+    moment_operations = np.bincount(levels, minlength=depth)
+
+    # -- edges / tallies -------------------------------------------------
+    q0_col = flat[0::2]
+    a = q0_col[is_two]
+    b = q1_col[is_two]
+    if a.size:
+        pairs = np.minimum(a, b) * n + np.maximum(a, b)
+        pairs.sort()
+        interaction_edges = 1 + int(np.count_nonzero(pairs[1:] != pairs[:-1]))
+    else:
+        interaction_edges = 0
+    two_qubit_operations = int(a.size)
+    qubit_touches = int(vpos.size)
+
+    # -- collapse layers (Eq. 6) ----------------------------------------
+    measure_rows = np.nonzero(ops == MEASURE_OP)[0]
+    reset_rows = np.nonzero(ops == RESET_OP)[0]
+    collapse_parts = []
+    if measure_rows.size:
+        mid = last_touch[q0_col[measure_rows]] > measure_rows
+        if mid.any():
+            collapse_parts.append(levels[measure_rows[mid]])
+    if reset_rows.size:
+        collapse_parts.append(levels[reset_rows])
+    if collapse_parts:
+        collapse_layers = int(np.unique(np.concatenate(collapse_parts)).size)
+    else:
+        collapse_layers = 0
+
+    return CircuitProfile(
+        num_qubits=n,
+        depth=depth,
+        total_operations=m,
+        two_qubit_operations=two_qubit_operations,
+        interaction_edges=interaction_edges,
+        qubit_touches=qubit_touches,
+        critical_length=critical_length,
+        critical_two_qubit=critical_two_qubit,
+        collapse_layers=collapse_layers,
+        moment_operations=moment_operations,
+    )
+
+
+def _packed_profile_general(packed: PackedCircuit) -> CircuitProfile:
+    """Instruction-ordered fallback walk over the packed rows.
+
+    Handles every row shape (barriers — fixed-slot or wide — and 3-qubit
+    gates) with the exact semantics of the original per-instruction object
+    walk: ASAP frontier with barrier synchronisation, the lexicographic
+    ``(chain length, two-qubit count)`` critical-path DP, interaction
+    edges, and mid-circuit collapse detection via chain-length comparison.
+
+    The walk indexes the materialised operand columns directly (one
+    ``tolist`` per column) instead of building a qubit tuple per row — on
+    the small circuits this path serves, per-row allocation is the dominant
+    cost.
+    """
+    n = packed.num_qubits
     frontier = [0] * n  # next free moment per qubit (ASAP scheduling)
     chain_length = [0] * n  # longest chain ending at the last op on qubit q
     chain_two_qubit = [0] * n  # max 2q-count over such chains
@@ -192,41 +386,56 @@ def circuit_profile(circuit: Circuit) -> CircuitProfile:
     qubit_touches = 0
 
     levels: List[int] = []  # moment of each non-barrier instruction
-    measure_records: List[Tuple[int, int, int]] = []  # (op index, qubit, moment)
+    measure_records: List[Tuple[int, int, int]] = []  # (qubit, chain, moment)
     reset_levels: List[int] = []
     levels_append = levels.append
 
-    for instruction in circuit:
-        qubits = instruction.qubits
-        # Classify once via the gate name: everything except measure, reset
-        # and barrier is a unitary (asserted by the parity tests against the
-        # Instruction predicates).
-        name = instruction.gate.name
-        if name == "barrier":
-            if qubits:
-                level = max(frontier[q] for q in qubits)
-                for q in qubits:
+    opcodes = packed.opcodes.tolist()
+    q0_col = packed.qubits[:, 0].tolist()
+    q1_col = packed.qubits[:, 1].tolist()
+    q2_col = packed.qubits[:, 2].tolist()
+    wide: Dict[int, List[int]] = {}
+    if packed.wide_rows.size:
+        wide_offsets = packed.wide_offsets.tolist()
+        wide_pool = packed.wide_qubits.tolist()
+        for index, wide_row in enumerate(packed.wide_rows.tolist()):
+            wide[wide_row] = wide_pool[wide_offsets[index] : wide_offsets[index + 1]]
+
+    for row, opcode in enumerate(opcodes):
+        q0 = q0_col[row]
+        if opcode == BARRIER_OP:
+            if q0 < 0:
+                barrier_qubits = wide.get(row, ())
+            else:
+                q1 = q1_col[row]
+                if q1 < 0:
+                    barrier_qubits = (q0,)
+                else:
+                    q2 = q2_col[row]
+                    barrier_qubits = (q0, q1) if q2 < 0 else (q0, q1, q2)
+            if barrier_qubits:
+                level = max(frontier[q] for q in barrier_qubits)
+                for q in barrier_qubits:
                     frontier[q] = level
             continue
 
         # -- ASAP layer assignment + critical-path DP (Eq. 2) ----------
         # The frontier maximum and the per-qubit chain maximum are fused;
         # the 1- and 2-qubit cases are unrolled (they are ~all operations).
-        num_operands = len(qubits)
-        is_multi = num_operands >= 2 and name != "measure" and name != "reset"
-        if num_operands == 1:
-            q0 = qubits[0]
+        q1 = q1_col[row]
+        if q1 < 0:
+            num_operands = 1
             level = frontier[q0]
-            pred_length = chain_length[q0]
-            pred_two_qubit = chain_two_qubit[q0]
-            length_here = pred_length + 1
-            two_qubit_here = pred_two_qubit
+            length_here = chain_length[q0] + 1
+            two_qubit_here = chain_two_qubit[q0]
             frontier[q0] = level + 1
             chain_length[q0] = length_here
             chain_two_qubit[q0] = two_qubit_here
         else:
-            if num_operands == 2:
-                q0, q1 = qubits
+            is_multi = opcode != MEASURE_OP and opcode != RESET_OP
+            q2 = q2_col[row]
+            if q2 < 0:
+                num_operands = 2
                 level = frontier[q0]
                 if frontier[q1] > level:
                     level = frontier[q1]
@@ -237,8 +446,22 @@ def circuit_profile(circuit: Circuit) -> CircuitProfile:
                 ):
                     pred_length = chain_length[q1]
                     pred_two_qubit = chain_two_qubit[q1]
+                length_here = pred_length + 1
+                two_qubit_here = pred_two_qubit + 1 if is_multi else pred_two_qubit
+                if is_multi:
+                    two_qubit_operations += 1
+                    edges.add((q0, q1) if q0 < q1 else (q1, q0))
+                next_level = level + 1
+                frontier[q0] = next_level
+                frontier[q1] = next_level
+                chain_length[q0] = length_here
+                chain_length[q1] = length_here
+                chain_two_qubit[q0] = two_qubit_here
+                chain_two_qubit[q1] = two_qubit_here
             else:
-                level = max(frontier[q] for q in qubits) if qubits else 0
+                qubits = (q0, q1, q2)
+                num_operands = 3
+                level = max(frontier[q] for q in qubits)
                 pred_length = 0
                 pred_two_qubit = 0
                 for q in qubits:
@@ -249,20 +472,20 @@ def circuit_profile(circuit: Circuit) -> CircuitProfile:
                     ):
                         pred_length = length_q
                         pred_two_qubit = two_qubit_q
-            length_here = pred_length + 1
-            two_qubit_here = pred_two_qubit + 1 if is_multi else pred_two_qubit
-            if is_multi:
-                two_qubit_operations += 1
-                for i in range(num_operands - 1):
-                    a = qubits[i]
-                    for j in range(i + 1, num_operands):
-                        b = qubits[j]
-                        edges.add((a, b) if a < b else (b, a))
-            next_level = level + 1
-            for q in qubits:
-                frontier[q] = next_level
-                chain_length[q] = length_here
-                chain_two_qubit[q] = two_qubit_here
+                length_here = pred_length + 1
+                two_qubit_here = pred_two_qubit + 1 if is_multi else pred_two_qubit
+                if is_multi:
+                    two_qubit_operations += 1
+                    for i in range(2):
+                        a = qubits[i]
+                        for j in range(i + 1, 3):
+                            b = qubits[j]
+                            edges.add((a, b) if a < b else (b, a))
+                next_level = level + 1
+                for q in qubits:
+                    frontier[q] = next_level
+                    chain_length[q] = length_here
+                    chain_two_qubit[q] = two_qubit_here
 
         levels_append(level)
         qubit_touches += num_operands
@@ -277,10 +500,10 @@ def circuit_profile(circuit: Circuit) -> CircuitProfile:
         # q (and barriers never change it), so comparing the recorded value
         # against the final one detects "qubit touched again later" without
         # a separate last-touch array.
-        if name == "reset":
+        if opcode == RESET_OP:
             reset_levels.append(level)
-        elif name == "measure":
-            measure_records.append((qubits[0], length_here, level))
+        elif opcode == MEASURE_OP:
+            measure_records.append((q0, length_here, level))
 
     # -- vectorised per-moment accounting ------------------------------
     level_array = np.asarray(levels, dtype=np.int64)

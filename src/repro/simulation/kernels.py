@@ -43,13 +43,16 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..circuits import Circuit
-from ..circuits.gates import Gate
+from ..circuits.columnar import BARRIER_OP, OP_IS_UNITARY, OP_NAMES
+from ..circuits.gates import GATE_DEFINITIONS, Gate
 from ..exceptions import SimulationError
 
 __all__ = [
     "GateKernel",
     "analyze_matrix",
     "kernel_for_gate",
+    "operation_matrix",
+    "kernel_for_operation",
     "apply_matrix",
     "apply_matrix_reference",
     "apply_kernel",
@@ -155,6 +158,31 @@ def analyze_matrix(matrix: np.ndarray) -> GateKernel:
 def kernel_for_gate(gate: Gate) -> GateKernel:
     """Cached kernel for a (hashable, immutable) :class:`Gate` instance."""
     return analyze_matrix(gate.matrix())
+
+
+#: Matrix factory per opcode id (None for measure/reset/barrier).
+_OP_MATRIX_FNS = tuple(definition.matrix_fn for definition in GATE_DEFINITIONS.values())
+
+
+@lru_cache(maxsize=4096)
+def operation_matrix(opcode: int, params: Tuple[float, ...] = ()) -> np.ndarray:
+    """Cached dense matrix for a packed ``(opcode, params)`` row.
+
+    The opcode-keyed twin of ``Gate.matrix()`` used by consumers reading
+    :class:`~repro.circuits.columnar.PackedCircuit` rows — no ``Gate``
+    object is materialised.  The returned array is shared across callers
+    and must not be mutated.
+    """
+    matrix_fn = _OP_MATRIX_FNS[opcode]
+    if matrix_fn is None:
+        raise SimulationError(f"operation {OP_NAMES[opcode]!r} has no matrix")
+    return matrix_fn(*params)
+
+
+@lru_cache(maxsize=4096)
+def kernel_for_operation(opcode: int, params: Tuple[float, ...] = ()) -> GateKernel:
+    """Cached kernel for a packed ``(opcode, params)`` row."""
+    return analyze_matrix(operation_matrix(opcode, params))
 
 
 @lru_cache(maxsize=4096)
@@ -360,16 +388,18 @@ def fuse_circuit(circuit: Circuit) -> List[FusedGate]:
         SimulationError: if the circuit contains measurement or reset
             (barriers are skipped — they carry no simulation semantics).
     """
-    operations: List[Tuple[np.ndarray, Tuple[int, ...]]] = []
-    for instruction in circuit:
-        if instruction.is_barrier():
-            continue
-        if not instruction.is_unitary():
-            raise SimulationError(
-                "fuse_circuit requires a measurement-free circuit; "
-                "fuse per-segment instead"
-            )
-        operations.append((instruction.gate.matrix(), instruction.qubits))
+    packed = circuit.packed()
+    opcodes = packed.opcodes
+    if bool(np.any(~OP_IS_UNITARY[opcodes] & (opcodes != BARRIER_OP))):
+        raise SimulationError(
+            "fuse_circuit requires a measurement-free circuit; "
+            "fuse per-segment instead"
+        )
+    operations: List[Tuple[np.ndarray, Tuple[int, ...]]] = [
+        (operation_matrix(opcode, params), qubits)
+        for _row, opcode, qubits, params, _clbit in packed.iter_rows()
+        if opcode != BARRIER_OP
+    ]
     return fuse_operations(operations)
 
 

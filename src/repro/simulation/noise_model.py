@@ -196,8 +196,16 @@ class NoiseModel:
     # ------------------------------------------------------------------
     def gate_channels(self, instruction: Instruction) -> ChannelList:
         """Noise channels applied after a unitary gate."""
+        return self.channels_for_gate(instruction.qubits)
+
+    def channels_for_gate(self, qubits: Tuple[int, ...]) -> ChannelList:
+        """Noise channels after a unitary on ``qubits``.
+
+        The qubit-tuple entry point used by consumers reading packed circuit
+        rows (no ``Instruction`` object required); the noise model depends
+        only on the operand qubits, never on the gate identity.
+        """
         channels: ChannelList = []
-        qubits = instruction.qubits
         if len(qubits) == 1:
             q = qubits[0]
             error = self.error_1q[q]

@@ -26,7 +26,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..circuits import Circuit, Instruction
+from ..circuits import Circuit
+from ..circuits.columnar import BARRIER_OP, MEASURE_OP, RESET_OP
 from ..exceptions import SimulationError
 from . import kernels
 from .kernels import (
@@ -35,8 +36,9 @@ from .kernels import (
     apply_kernel,
     counts_from_samples,
     fuse_operations,
-    kernel_for_gate,
+    kernel_for_operation,
     measure_qubit_batch,
+    operation_matrix,
     qubit_axis,
     reset_qubit_batch,
     sample_counts_array,
@@ -112,35 +114,38 @@ def final_statevector(
     num_qubits = circuit.num_qubits
     psi = _initial_tensor(num_qubits, initial_state)
 
-    gate_instructions: List[Instruction] = []
+    gate_rows: List[Tuple[int, Tuple[int, ...], Tuple[float, ...]]] = []
     seen_measurement_qubits: set[int] = set()
-    for instruction in circuit:
-        if instruction.is_barrier():
+    for _row, opcode, qubits, params, _clbit in circuit.packed().iter_rows():
+        if opcode == BARRIER_OP:
             continue
-        if instruction.is_measurement():
-            seen_measurement_qubits.add(instruction.qubits[0])
+        if opcode == MEASURE_OP:
+            seen_measurement_qubits.add(qubits[0])
             continue
-        if instruction.is_reset():
+        if opcode == RESET_OP:
             raise SimulationError(
                 "circuit contains reset; use StatevectorSimulator for shot-based runs"
             )
-        if any(q in seen_measurement_qubits for q in instruction.qubits):
+        if any(q in seen_measurement_qubits for q in qubits):
             raise SimulationError(
                 "circuit contains mid-circuit measurement; use StatevectorSimulator"
             )
-        gate_instructions.append(instruction)
+        gate_rows.append((opcode, qubits, params))
 
     if fuse:
-        operations = [(i.gate.matrix(), i.qubits) for i in gate_instructions]
+        operations = [
+            (operation_matrix(opcode, params), qubits)
+            for opcode, qubits, params in gate_rows
+        ]
         for fused in fuse_operations(operations):
             axes = [qubit_axis(q, num_qubits) for q in fused.qubits]
             psi = apply_kernel(psi, fused.kernel, axes, strict=False)
     else:
         # Strict kernels keep this path bit-identical to the historical
         # per-gate tensordot evolution (the seeded sampling contract).
-        for instruction in gate_instructions:
-            axes = [qubit_axis(q, num_qubits) for q in instruction.qubits]
-            psi = apply_kernel(psi, kernel_for_gate(instruction.gate), axes, strict=True)
+        for opcode, qubits, params in gate_rows:
+            axes = [qubit_axis(q, num_qubits) for q in qubits]
+            psi = apply_kernel(psi, kernel_for_operation(opcode, params), axes, strict=True)
     return np.ascontiguousarray(psi).reshape(-1)
 
 
@@ -155,12 +160,12 @@ def circuit_unitary(circuit: Circuit, fuse: bool = True) -> np.ndarray:
     # Row (output) qubit q of the unitary lives on axis num_qubits - 1 - q.
     tensor = np.eye(dim, dtype=complex).reshape((2,) * (2 * num_qubits))
     operations: List[Tuple[np.ndarray, Tuple[int, ...]]] = []
-    for instruction in circuit:
-        if instruction.is_barrier():
+    for _row, opcode, qubits, params, _clbit in circuit.packed().iter_rows():
+        if opcode == BARRIER_OP:
             continue
-        if not instruction.is_unitary():
+        if opcode == MEASURE_OP or opcode == RESET_OP:
             raise SimulationError("circuit_unitary requires a measurement-free circuit")
-        operations.append((instruction.gate.matrix(), instruction.qubits))
+        operations.append((operation_matrix(opcode, params), qubits))
     fused_ops = (
         fuse_operations(operations)
         if fuse
@@ -283,53 +288,53 @@ def _compile_trajectory_plan(circuit: Circuit, noise_model) -> _TrajectoryPlan:
     """
     steps: List[object] = []
     run: List[Tuple[np.ndarray, Tuple[int, ...]]] = []
-    run_instructions: List[Instruction] = []
+    run_rows: List[Tuple[int, Tuple[int, ...], Tuple[float, ...]]] = []
 
     def flush_run() -> None:
         if not run:
             return
         if len(run) == 1:
-            instruction = run_instructions[0]
-            steps.append(_GateStep(kernel_for_gate(instruction.gate), instruction.qubits))
+            opcode, qubits, params = run_rows[0]
+            steps.append(_GateStep(kernel_for_operation(opcode, params), qubits))
         else:
             for fused in fuse_operations(run):
                 steps.append(_GateStep(fused.kernel, fused.qubits))
         run.clear()
-        run_instructions.clear()
+        run_rows.clear()
 
     terminal_indices = _terminal_measurements(circuit)
     terminal_map: Dict[int, int] = {}
-    for index, instruction in enumerate(circuit):
-        if instruction.is_barrier():
+    for index, opcode, qubits, params, clbit in circuit.packed().iter_rows():
+        if opcode == BARRIER_OP:
             continue
-        if instruction.is_measurement():
-            qubit, clbit = instruction.qubits[0], instruction.clbits[0]
+        if opcode == MEASURE_OP:
+            qubit = qubits[0]
             if index in terminal_indices:
                 terminal_map[qubit] = clbit  # last mapping wins
                 continue
             flush_run()
             steps.append(_MeasureStep(qubit, clbit))
             if noise_model is not None:
-                for channel, qubits in noise_model.measurement_channels(qubit):
-                    steps.append(_channel_step(channel, tuple(qubits)))
+                for channel, channel_qubits in noise_model.measurement_channels(qubit):
+                    steps.append(_channel_step(channel, tuple(channel_qubits)))
             continue
-        if instruction.is_reset():
+        if opcode == RESET_OP:
             flush_run()
-            steps.append(_ResetStep(instruction.qubits[0]))
+            steps.append(_ResetStep(qubits[0]))
             if noise_model is not None:
-                for channel, qubits in noise_model.reset_channels(instruction.qubits[0]):
-                    steps.append(_channel_step(channel, tuple(qubits)))
+                for channel, channel_qubits in noise_model.reset_channels(qubits[0]):
+                    steps.append(_channel_step(channel, tuple(channel_qubits)))
             continue
-        channels = noise_model.gate_channels(instruction) if noise_model is not None else []
+        channels = noise_model.channels_for_gate(qubits) if noise_model is not None else []
         if channels:
-            run.append((instruction.gate.matrix(), instruction.qubits))
-            run_instructions.append(instruction)
+            run.append((operation_matrix(opcode, params), qubits))
+            run_rows.append((opcode, qubits, params))
             flush_run()
-            for channel, qubits in channels:
-                steps.append(_channel_step(channel, tuple(qubits)))
+            for channel, channel_qubits in channels:
+                steps.append(_channel_step(channel, tuple(channel_qubits)))
         else:
-            run.append((instruction.gate.matrix(), instruction.qubits))
-            run_instructions.append(instruction)
+            run.append((operation_matrix(opcode, params), qubits))
+            run_rows.append((opcode, qubits, params))
     flush_run()
 
     split = 0
@@ -576,34 +581,39 @@ def _has_collapse(circuit: Circuit) -> bool:
     """True when the circuit needs per-trajectory simulation even without noise."""
     if circuit.num_resets() > 0:
         return True
-    return bool(_non_terminal_measurements(circuit))
+    return circuit.num_measurements() > len(_terminal_measurements(circuit))
 
 
 def _terminal_measurements(circuit: Circuit) -> set[int]:
-    """Indices of measurements not followed by further operations on their qubit."""
-    instructions = list(circuit)
-    touched_later: set[int] = set()
-    terminal: set[int] = set()
-    for index in range(len(instructions) - 1, -1, -1):
-        instruction = instructions[index]
-        if instruction.is_barrier():
-            continue
-        if instruction.is_measurement():
-            if instruction.qubits[0] not in touched_later:
-                terminal.add(index)
-            touched_later.add(instruction.qubits[0])
-        else:
-            touched_later.update(instruction.qubits)
-    return terminal
+    """Indices of measurements not followed by further operations on their qubit.
+
+    Vectorised over the packed rows: a measurement at row ``r`` on qubit
+    ``q`` is terminal exactly when the last non-barrier row touching ``q``
+    is ``r`` itself.
+    """
+    packed = circuit.packed()
+    opcodes = packed.opcodes
+    measure_rows = np.nonzero(opcodes == MEASURE_OP)[0]
+    if not measure_rows.size:
+        return set()
+    rows = np.nonzero(opcodes != BARRIER_OP)[0]
+    operands = packed.qubits[rows]
+    valid = operands >= 0
+    last_touch = np.full(circuit.num_qubits, -1, dtype=np.int64)
+    np.maximum.at(
+        last_touch,
+        operands[valid],
+        np.repeat(rows, operands.shape[1])[valid.ravel()],
+    )
+    measured_qubits = packed.qubits[measure_rows, 0]
+    return set(measure_rows[last_touch[measured_qubits] == measure_rows].tolist())
 
 
 def _non_terminal_measurements(circuit: Circuit) -> List[int]:
     terminal = _terminal_measurements(circuit)
-    return [
-        index
-        for index, instruction in enumerate(circuit)
-        if instruction.is_measurement() and index not in terminal
-    ]
+    packed = circuit.packed()
+    measure_rows = np.nonzero(packed.opcodes == MEASURE_OP)[0]
+    return [int(row) for row in measure_rows if int(row) not in terminal]
 
 
 def _measurement_map(circuit: Circuit) -> Tuple[List[int], List[int]]:
@@ -615,10 +625,12 @@ def _measurement_map(circuit: Circuit) -> Tuple[List[int], List[int]]:
     mapping wins.
     """
     terminal = _terminal_measurements(circuit)
+    packed = circuit.packed()
+    measure_rows = np.nonzero(packed.opcodes == MEASURE_OP)[0]
     mapping: Dict[int, int] = {}
-    for index, instruction in enumerate(circuit):
-        if instruction.is_measurement() and index in terminal:
-            mapping[instruction.qubits[0]] = instruction.clbits[0]
+    for row in measure_rows.tolist():
+        if row in terminal:
+            mapping[int(packed.qubits[row, 0])] = int(packed.clbits[row])
     qubits = list(mapping.keys())
     clbits = list(mapping.values())
     return qubits, clbits

@@ -52,7 +52,20 @@ __all__ = [
 #: Version of the key derivation itself.  Bumping it invalidates every
 #: previously stored row (old keys simply stop matching), which is exactly
 #: the behaviour wanted when the key composition changes.
-KEY_SCHEMA = 1
+#:
+#: History:
+#:
+#: * 1 — original composition.
+#: * 2 — circuit fingerprints moved to the packed-buffer scheme
+#:   (``repro.execution.cache.FINGERPRINT_VERSION == 2``).  Store keys do
+#:   not embed circuit fingerprints directly, but any key derived under the
+#:   old scheme must not silently alias a new-scheme key, so the schema
+#:   version is bumped in lock-step.  Old rows become unreachable (reads
+#:   miss and re-execute; ``ResultStore.purge_stale_keys()`` reclaims the
+#:   space) — whereas opening a database written by a *newer* release
+#:   raises :class:`~repro.exceptions.SchemaVersionError` loudly.  See
+#:   ``docs/ir.md`` for the full migration story.
+KEY_SCHEMA = 2
 
 
 def spec_identity(benchmark: object) -> str:

@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Mapping, Optional, Union
 
 from ..exceptions import SchemaVersionError, StoreError
 from ..execution.results import BenchmarkRun
+from .keys import KEY_SCHEMA
 
 __all__ = ["ResultStore", "STORE_SCHEMA_VERSION", "PAYLOAD_VERSION"]
 
@@ -301,6 +302,35 @@ class ResultStore:
             )
         with self._counter_lock:
             self.evictions += len(victims)
+
+    def purge_stale_keys(self) -> int:
+        """Delete rows whose keys were derived under an older ``KEY_SCHEMA``.
+
+        A :data:`~repro.store.keys.KEY_SCHEMA` bump (e.g. the v2 packed
+        circuit-fingerprint migration, see docs/ir.md) makes previously
+        stored rows unreachable: their content keys simply stop matching,
+        so reads miss and re-execute.  This maintenance call reclaims the
+        dead rows by inspecting the debug ``key_payload`` column (rows
+        without one are kept — their schema cannot be determined).  Returns
+        the number of rows deleted.
+        """
+        connection = self._connection()
+        rows = connection.execute(
+            "SELECT key, kind, key_payload FROM results WHERE key_payload != ''"
+        ).fetchall()
+        stale = []
+        for row in rows:
+            try:
+                schema = json.loads(row["key_payload"]).get("key_schema")
+            except (json.JSONDecodeError, AttributeError):
+                continue
+            if schema != KEY_SCHEMA:
+                stale.append((row["key"], row["kind"]))
+        for key, kind in stale:
+            connection.execute(
+                "DELETE FROM results WHERE key = ? AND kind = ?", (key, kind)
+            )
+        return len(stale)
 
     # ------------------------------------------------------------------
     # typed helpers

@@ -38,6 +38,7 @@ from .passes import (
     DecomposeToCanonical,
     DepthAnalysis,
     DropNegligible,
+    InteractionAnalysis,
     FuseSingleQubitRuns,
     MergeRotations,
     NoiseAwareLayout,
@@ -94,6 +95,7 @@ __all__ = [
     "RoutingPass",
     "BasisTranslation",
     "DepthAnalysis",
+    "InteractionAnalysis",
     "MAX_OPTIMIZATION_LEVEL",
     "preset_pipeline",
     "register_device_preset",

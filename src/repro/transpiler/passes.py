@@ -371,15 +371,51 @@ class DepthAnalysis(AnalysisPass):
     """
 
     def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
-        critical_two_qubit, critical_length = circuit.two_qubit_critical_path()
+        # One packed-profile pass supplies every metric (bit-identical to the
+        # former two_qubit_critical_path / depth / counter queries, asserted
+        # by the transpile goldens).
+        from ..features.features import circuit_profile
+
+        profile = circuit_profile(circuit)
         metrics = property_set.setdefault("metrics", {})
         metrics.update(
             {
-                "gate_count": circuit.num_gates(),
-                "two_qubit_gates": circuit.num_two_qubit_gates(),
-                "depth": circuit.depth(),
-                "critical_path_length": critical_length,
-                "critical_two_qubit_gates": critical_two_qubit,
+                "gate_count": profile.total_operations,
+                "two_qubit_gates": profile.two_qubit_operations,
+                "depth": profile.depth,
+                "critical_path_length": profile.critical_length,
+                "critical_two_qubit_gates": profile.critical_two_qubit,
+            }
+        )
+        return circuit
+
+
+class InteractionAnalysis(AnalysisPass):
+    """Record interaction-graph metrics from the packed circuit form.
+
+    Writes ``property_set["metrics"]`` with:
+
+    * ``interaction_edges`` — distinct interacting qubit pairs,
+    * ``interaction_density`` — the edges normalised by the complete graph
+      (the paper's Program Communication numerator over ``n(n-1)/2``),
+    * ``qubit_touches`` — total qubit-moment activity (the liveness
+      numerator).
+    """
+
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        from ..features.features import circuit_profile
+
+        profile = circuit_profile(circuit)
+        n = profile.num_qubits
+        possible = n * (n - 1) // 2
+        metrics = property_set.setdefault("metrics", {})
+        metrics.update(
+            {
+                "interaction_edges": profile.interaction_edges,
+                "interaction_density": (
+                    profile.interaction_edges / possible if possible else 0.0
+                ),
+                "qubit_touches": profile.qubit_touches,
             }
         )
         return circuit

@@ -1,0 +1,342 @@
+"""Guards for the columnar (packed) circuit IR.
+
+Three concerns:
+
+* **Losslessness** — ``Circuit -> pack -> unpack`` is an exact instruction
+  round trip, exercised over every registered gate arity, measure/reset,
+  narrow and wide barriers, and randomized instruction streams.
+* **Opcode-table stability** — opcode ids and :data:`OPCODE_TABLE_DIGEST`
+  are pinned; a reorder or mid-table insertion (which would silently change
+  every persisted fingerprint) fails loudly here instead.
+* **Cache semantics** — ``Circuit.packed()`` returns one shared immutable
+  object until the circuit mutates, survives ``copy()`` without re-packing,
+  and re-packs when register sizes drift out from under the cache.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    BARRIER_OP,
+    Circuit,
+    Gate,
+    Instruction,
+    MEASURE_OP,
+    OP_ARITY,
+    OP_IS_UNITARY,
+    OP_NAMES,
+    OP_NUM_PARAMS,
+    OPCODE_TABLE_DIGEST,
+    OPCODES,
+    PackedCircuit,
+    QUBIT_SLOTS,
+    RESET_OP,
+    pack_circuit,
+    random_clifford_circuit,
+)
+from repro.circuits.gates import GATE_DEFINITIONS
+
+
+def _random_circuit(num_qubits: int, seed: int, *, barriers: bool = True) -> Circuit:
+    """Instruction stream covering every packing shape, from a seed."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, num_qubits, name=f"rand{seed}")
+    gate_names = [
+        name
+        for name, definition in GATE_DEFINITIONS.items()
+        if definition.is_unitary and 0 < definition.num_qubits <= num_qubits
+    ]
+    for _ in range(int(rng.integers(0, 40))):
+        roll = rng.random()
+        if roll < 0.70:
+            name = gate_names[int(rng.integers(len(gate_names)))]
+            definition = GATE_DEFINITIONS[name]
+            qubits = rng.choice(num_qubits, size=definition.num_qubits, replace=False)
+            params = tuple(float(p) for p in rng.uniform(-np.pi, np.pi, definition.num_params))
+            circuit.add_gate(name, [int(q) for q in qubits], params)
+        elif roll < 0.82:
+            circuit.measure(int(rng.integers(num_qubits)), int(rng.integers(num_qubits)))
+        elif roll < 0.90:
+            circuit.reset(int(rng.integers(num_qubits)))
+        elif barriers:
+            count = int(rng.integers(1, num_qubits + 1))
+            qubits = rng.choice(num_qubits, size=count, replace=False)
+            circuit.barrier(*(int(q) for q in qubits))
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# opcode table stability
+# ---------------------------------------------------------------------------
+class TestOpcodeTable:
+    def test_ids_cover_every_definition_contiguously(self):
+        assert list(OPCODES) == list(GATE_DEFINITIONS)
+        assert sorted(OPCODES.values()) == list(range(len(GATE_DEFINITIONS)))
+        assert OP_NAMES == tuple(GATE_DEFINITIONS)
+
+    def test_pinned_ids(self):
+        # These ids are persisted (via the fingerprint digest); moving them is
+        # a migration, not a refactor — see docs/ir.md before touching this.
+        assert len(OPCODES) == 35
+        assert OPCODES["id"] == 0
+        assert MEASURE_OP == OPCODES["measure"] == 32
+        assert RESET_OP == OPCODES["reset"] == 33
+        assert BARRIER_OP == OPCODES["barrier"] == 34
+
+    def test_table_digest_pinned(self):
+        # Changing GATE_DEFINITIONS (new gate, reorder, arity change) changes
+        # this digest and with it every circuit fingerprint and store key.
+        # That is deliberate — but it must be done knowingly: update the pin
+        # together with FINGERPRINT_VERSION / KEY_SCHEMA per docs/ir.md.
+        assert OPCODE_TABLE_DIGEST == "34919697ea062826f5eeccd514313c5e79cd034e"
+
+    def test_per_opcode_arrays_match_definitions(self):
+        for name, definition in GATE_DEFINITIONS.items():
+            opcode = OPCODES[name]
+            assert OP_ARITY[opcode] == definition.num_qubits
+            assert OP_NUM_PARAMS[opcode] == definition.num_params
+            assert OP_IS_UNITARY[opcode] == definition.is_unitary
+        assert not OP_IS_UNITARY[MEASURE_OP]
+        assert not OP_IS_UNITARY[RESET_OP]
+        assert not OP_IS_UNITARY[BARRIER_OP]
+
+
+# ---------------------------------------------------------------------------
+# round trip
+# ---------------------------------------------------------------------------
+class TestRoundTrip:
+    def test_empty_circuit(self):
+        circuit = Circuit(3, 2, name="empty")
+        packed = circuit.packed()
+        assert len(packed) == 0
+        assert packed.num_qubits == 3
+        assert packed.num_clbits == 2
+        assert packed.unpack() == circuit
+        assert packed.unpack().name == "empty"
+
+    def test_every_gate_arity_round_trips(self):
+        circuit = Circuit(4, 4)
+        params_pool = (0.1, -1.25, 2.5)
+        for name, definition in GATE_DEFINITIONS.items():
+            if not definition.is_unitary or definition.num_qubits == 0:
+                continue
+            qubits = list(range(definition.num_qubits))
+            circuit.add_gate(name, qubits, params_pool[: definition.num_params])
+        circuit.measure(0, 3)
+        circuit.reset(2)
+        circuit.barrier(1, 3)
+        packed = circuit.packed()
+        rebuilt = packed.unpack()
+        assert rebuilt == circuit
+        assert [i.gate.params for i in rebuilt] == [i.gate.params for i in circuit]
+        assert [i.clbits for i in rebuilt] == [i.clbits for i in circuit]
+
+    def test_wide_barrier_overflows_to_pool(self):
+        circuit = Circuit(6)
+        circuit.h(0).cx(0, 1)
+        circuit.barrier()  # 6 operands > QUBIT_SLOTS
+        circuit.barrier(4, 2)  # narrow barrier stays in fixed slots
+        packed = circuit.packed()
+        assert packed.has_wide_rows
+        assert packed.wide_rows.tolist() == [2]
+        # the wide row's fixed-width slots are all sentinels
+        assert packed.qubits[2].tolist() == [-1] * QUBIT_SLOTS
+        assert packed.row_qubits(2) == (0, 1, 2, 3, 4, 5)
+        assert packed.row_qubits(3) == (4, 2)
+        assert packed.unpack() == circuit
+
+    def test_measure_clbits_preserved(self):
+        circuit = Circuit(3, 3)
+        circuit.h(0).measure(0, 2).measure(1, 0)
+        rebuilt = circuit.packed().unpack()
+        assert [i.clbits for i in rebuilt] == [(), (2,), (0,)]
+
+    @given(num_qubits=st.integers(2, 6), seed=st.integers(0, 2000))
+    @settings(max_examples=80, deadline=None)
+    def test_randomized_round_trip(self, num_qubits, seed):
+        circuit = _random_circuit(num_qubits, seed)
+        packed = circuit.packed()
+        rebuilt = packed.unpack()
+        assert rebuilt == circuit
+        assert rebuilt.num_clbits == circuit.num_clbits
+        assert rebuilt.name == circuit.name
+        # exact params and clbits (Circuit.__eq__ already compares these, but
+        # pin them explicitly — they are the lossy-prone columns)
+        for original, copy in zip(circuit, rebuilt):
+            assert copy.gate.params == original.gate.params
+            assert copy.qubits == original.qubits
+            assert copy.clbits == original.clbits
+        # a re-pack of the rebuilt circuit is byte-identical
+        repacked = rebuilt.packed()
+        for (label, buffer), (_, other) in zip(packed.buffers(), repacked.buffers()):
+            assert buffer.tobytes() == other.tobytes(), label
+
+    def test_clifford_stream_round_trips(self):
+        circuit = random_clifford_circuit(5, 60, rng=7).measure_all()
+        assert circuit.packed().unpack() == circuit
+
+
+# ---------------------------------------------------------------------------
+# row access
+# ---------------------------------------------------------------------------
+class TestRowAccess:
+    def test_rows_mirror_instructions(self):
+        circuit = _random_circuit(5, seed=11)
+        circuit.barrier()  # force a wide row
+        packed = circuit.packed()
+        rows = list(packed.iter_rows())
+        assert len(rows) == len(circuit)
+        for (row, opcode, qubits, params, clbit), instruction in zip(rows, circuit):
+            assert OP_NAMES[opcode] == instruction.gate.name
+            assert qubits == instruction.qubits
+            assert params == instruction.gate.params
+            assert clbit == (instruction.clbits[0] if instruction.clbits else -1)
+            assert packed.row_qubits(row) == instruction.qubits
+            assert packed.row_params(row) == instruction.gate.params
+
+    def test_buffers_are_read_only(self):
+        packed = _random_circuit(4, seed=3).packed()
+        for label, buffer in packed.buffers():
+            assert not buffer.flags.writeable, label
+        with pytest.raises(ValueError):
+            packed.opcodes[0] = 1
+
+
+# ---------------------------------------------------------------------------
+# packed() cache semantics
+# ---------------------------------------------------------------------------
+class TestPackedCache:
+    def test_repeated_calls_share_one_object(self):
+        circuit = _random_circuit(4, seed=5)
+        assert circuit.packed() is circuit.packed()
+
+    def test_append_invalidates(self):
+        circuit = Circuit(2)
+        circuit.h(0)
+        before = circuit.packed()
+        circuit.cx(0, 1)
+        after = circuit.packed()
+        assert after is not before
+        assert len(before) == 1 and len(after) == 2
+        assert after.unpack() == circuit
+
+    def test_register_growth_invalidates(self):
+        # measure_all widens num_clbits; the cache validates register sizes
+        # so the stale pack is never served even without an append in between.
+        circuit = Circuit(3, 0)
+        circuit.h(0)
+        stale = circuit.packed()
+        assert stale.num_clbits == 0
+        circuit.measure_all()
+        fresh = circuit.packed()
+        assert fresh.num_clbits == 3
+        assert fresh.unpack() == circuit
+
+    def test_copy_shares_cached_pack(self):
+        circuit = _random_circuit(4, seed=9)
+        packed = circuit.packed()
+        clone = circuit.copy()
+        assert clone.packed() is packed
+        # mutating the clone re-packs the clone only
+        clone.x(0)
+        assert clone.packed() is not packed
+        assert circuit.packed() is packed
+
+    def test_pack_circuit_matches_accessor(self):
+        circuit = _random_circuit(4, seed=13)
+        direct = pack_circuit(circuit)
+        cached = circuit.packed()
+        assert isinstance(direct, PackedCircuit)
+        for (label, buffer), (_, other) in zip(direct.buffers(), cached.buffers()):
+            assert buffer.tobytes() == other.tobytes(), label
+
+
+# ---------------------------------------------------------------------------
+# O(1) structural counters
+# ---------------------------------------------------------------------------
+class _ExplodingInstructions:
+    """Stand-in for ``Circuit._instructions`` that fails on any traversal."""
+
+    def __iter__(self):
+        raise AssertionError("counter re-walked the instruction list")
+
+    def __len__(self):
+        raise AssertionError("counter re-walked the instruction list")
+
+    def __getitem__(self, index):
+        raise AssertionError("counter re-walked the instruction list")
+
+
+class TestCounters:
+    def _recount(self, circuit):
+        multi = sum(
+            1
+            for i in circuit
+            if len(i.qubits) >= 2 and not (i.is_measurement() or i.is_reset() or i.is_barrier())
+        )
+        measures = sum(1 for i in circuit if i.is_measurement())
+        resets = sum(1 for i in circuit if i.is_reset())
+        return multi, measures, resets
+
+    @given(num_qubits=st.integers(2, 6), seed=st.integers(0, 2000))
+    @settings(max_examples=60, deadline=None)
+    def test_tallies_match_recount(self, num_qubits, seed):
+        circuit = _random_circuit(num_qubits, seed)
+        multi, measures, resets = self._recount(circuit)
+        assert circuit.num_two_qubit_gates() == multi
+        assert circuit.num_measurements() == measures
+        assert circuit.num_resets() == resets
+
+    def test_tallies_survive_copy_extend_compose(self):
+        circuit = _random_circuit(5, seed=21)
+        other = _random_circuit(5, seed=22)
+        combined = circuit.copy()
+        combined.extend(other.instructions)
+        composed = circuit.copy().compose(other)
+        for built in (circuit.copy(), combined, composed):
+            assert built.num_two_qubit_gates() == self._recount(built)[0]
+            assert built.num_measurements() == self._recount(built)[1]
+            assert built.num_resets() == self._recount(built)[2]
+
+    def test_counters_never_rewalk_instructions(self):
+        # Regression guard for the O(1) counters: once built, repeated counter
+        # calls must answer from the append-maintained tallies without touching
+        # the instruction list at all.
+        circuit = _random_circuit(5, seed=33)
+        expected = (
+            circuit.num_two_qubit_gates(),
+            circuit.num_measurements(),
+            circuit.num_resets(),
+        )
+        circuit._instructions = _ExplodingInstructions()
+        observed = (
+            circuit.num_two_qubit_gates(),
+            circuit.num_measurements(),
+            circuit.num_resets(),
+        )
+        assert observed == expected
+
+
+# ---------------------------------------------------------------------------
+# direct PackedCircuit construction (pack_circuit is not the only producer)
+# ---------------------------------------------------------------------------
+class TestUnpackFromForeignBuffers:
+    def test_hand_built_pack_unpacks(self):
+        packed = PackedCircuit(
+            num_qubits=2,
+            num_clbits=1,
+            opcodes=np.array([OPCODES["h"], OPCODES["rzz"], MEASURE_OP], dtype=np.uint16),
+            qubits=np.array([[0, -1, -1], [0, 1, -1], [1, -1, -1]], dtype=np.int32),
+            clbits=np.array([-1, -1, 0], dtype=np.int32),
+            param_offsets=np.array([0, 0, 1, 1], dtype=np.int64),
+            params=np.array([0.5], dtype=np.float64),
+            wide_rows=np.zeros(0, dtype=np.int64),
+            wide_offsets=np.zeros(1, dtype=np.int64),
+            wide_qubits=np.zeros(0, dtype=np.int32),
+        )
+        circuit = packed.unpack()
+        expected = Circuit(2, 1).h(0).rzz(0.5, 0, 1).measure(1, 0)
+        assert circuit == expected
+        assert circuit[1].gate == Gate("rzz", (0.5,))
+        assert isinstance(circuit[2], Instruction)

@@ -33,6 +33,33 @@ class TestFingerprint:
         b = Circuit(2).cx(1, 0).measure_all()
         assert circuit_fingerprint(a) != circuit_fingerprint(b)
 
+    def test_params_hash_as_raw_float_bytes(self):
+        # The v2 fingerprint hashes the raw float64 bytes, not a repr() string:
+        # 0.1 + 0.2 and the literal 0.30000000000000004 are the same float and
+        # must hash equal, while the (different) float 0.3 must not — even
+        # though a "%.5f"-style textual scheme would conflate all three.
+        computed = Circuit(1).rx(0.1 + 0.2, 0)
+        literal = Circuit(1).rx(0.30000000000000004, 0)
+        rounded = Circuit(1).rx(0.3, 0)
+        assert circuit_fingerprint(computed) == circuit_fingerprint(literal)
+        assert circuit_fingerprint(computed) != circuit_fingerprint(rounded)
+
+    def test_sign_of_zero_is_structural(self):
+        # -0.0 == 0.0 compares equal but has different bytes; the byte-level
+        # scheme keeps them distinct (repr-level schemes did too).
+        assert circuit_fingerprint(Circuit(1).rz(0.0, 0)) != circuit_fingerprint(
+            Circuit(1).rz(-0.0, 0)
+        )
+
+    def test_clbit_wiring_changes_fingerprint(self):
+        a = Circuit(2, 2).h(0).measure(0, 0)
+        b = Circuit(2, 2).h(0).measure(0, 1)
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_pack_round_trip_preserves_fingerprint(self):
+        circuit = _ghz(4).rx(0.1 + 0.2, 0).barrier(1, 3)
+        assert circuit_fingerprint(circuit.packed().unpack()) == circuit_fingerprint(circuit)
+
 
 class TestTranspileCache:
     def test_second_lookup_is_a_hit(self):

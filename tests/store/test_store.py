@@ -202,3 +202,48 @@ class TestResultStore:
             store.put("k1", "run", {"schema_version": PAYLOAD_VERSION, "run": {"nope": 1}})
             with pytest.raises(StoreError, match="malformed run payload"):
                 store.get_run("k1")
+
+
+class TestPurgeStaleKeys:
+    def _payload(self, schema):
+        payload = key_payload("s", "d", {}, "p", "n", "raw", 1, 1, None)
+        payload["key_schema"] = schema
+        return payload
+
+    def test_old_schema_rows_deleted_current_kept(self):
+        with ResultStore() as store:
+            store.put_run("old", make_run(), key_payload=self._payload(KEY_SCHEMA - 1))
+            store.put_run("cur", make_run(), key_payload=self._payload(KEY_SCHEMA))
+            assert store.purge_stale_keys() == 1
+            assert store.get_run("old") is None
+            assert store.get_run("cur") == make_run()
+
+    def test_rows_without_payload_are_kept(self):
+        # The debug column is optional; rows written without it have an
+        # undeterminable schema and must never be reclaimed.
+        with ResultStore() as store:
+            store.put_run("bare", make_run())
+            store.put_run("old", make_run(), key_payload=self._payload(KEY_SCHEMA - 1))
+            assert store.purge_stale_keys() == 1
+            assert store.get_run("bare") == make_run()
+
+    def test_purge_is_idempotent_and_counts(self):
+        with ResultStore() as store:
+            for index in range(3):
+                store.put_run(
+                    f"old{index}", make_run(), key_payload=self._payload(KEY_SCHEMA - 1)
+                )
+            store.put_outcome("o1", make_outcome(), key_payload=self._payload(KEY_SCHEMA))
+            assert store.purge_stale_keys() == 3
+            assert store.purge_stale_keys() == 0
+            assert len(store) == 1
+
+    def test_purged_store_persists(self, tmp_path):
+        path = tmp_path / "purge.sqlite"
+        with ResultStore(path) as store:
+            store.put_run("old", make_run(), key_payload=self._payload(KEY_SCHEMA - 1))
+            store.put_run("cur", make_run(), key_payload=self._payload(KEY_SCHEMA))
+            store.purge_stale_keys()
+        with ResultStore(path) as store:
+            assert store.get_run("old") is None
+            assert store.get_run("cur") == make_run()
