@@ -17,7 +17,12 @@ This mirrors the paper's workflow end to end:
    docs/service.md for the HTTP service on top), and
 8. rerun the sweep on worker processes — `executor="process"` breaks the
    GIL ceiling on multi-core machines with bit-identical scores (see
-   docs/distributed.md; from the CLI: `repro run figure2 --processes 4`).
+   docs/distributed.md; from the CLI: `repro run figure2 --processes 4`),
+   and
+9. trace that same sweep: enable the telemetry subsystem, rerun, and show
+   the span tree the run produced — the CLI equivalent writes a
+   Perfetto-ready Chrome trace with `repro run figure2 --processes 2
+   --trace trace.json` (see docs/telemetry.md).
 
 Run with:  python examples/quickstart.py
 """
@@ -100,6 +105,24 @@ def main() -> None:
     print(f"{len(parallel.runs())} units on {len(workers)} worker processes; "
           "same scores as the threaded run")
     print("CLI equivalent:  repro run figure2 --processes 4")
+
+    print("\n=== Tracing the sweep (docs/telemetry.md) ===")
+    from collections import Counter
+
+    from repro.telemetry import configure_tracing
+
+    tracer = configure_tracing(enabled=True, seed=7)
+    run_scenario(scenario, executor="process", processes=2, **knobs)
+    spans = tracer.drain()
+    tracer.enabled = False
+    counts = Counter(span.name for span in spans)
+    print(f"{len(spans)} spans, one merged trace across "
+          f"{len({span.process for span in spans})} OS processes:")
+    for name, count in counts.most_common(6):
+        print(f"  {count:>3}x {name}")
+    print("CLI equivalent:  repro run figure2 --processes 2 --trace trace.json")
+    print("                 (open trace.json at https://ui.perfetto.dev)")
+    print("metrics scrape:  curl localhost:8736/metrics   (while `repro serve` runs)")
 
 
 if __name__ == "__main__":

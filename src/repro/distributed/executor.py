@@ -24,6 +24,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Optional
 
 from ..exceptions import DistributedError
+from ..telemetry import get_tracer
 from .plan import Lease
 from .worker import execute_lease, initialize_worker
 
@@ -81,11 +82,13 @@ class ProcessShardExecutor:
         return self.processes
 
     def _make_pool(self) -> ProcessPoolExecutor:
+        # Tracing state is sampled at pool creation: workers only record
+        # spans when the parent tracer is enabled (someone will adopt them).
         return ProcessPoolExecutor(
             max_workers=self.processes,
             mp_context=multiprocessing.get_context(self.mp_context),
             initializer=initialize_worker,
-            initargs=(self.store_path, self.crash_marker),
+            initargs=(self.store_path, self.crash_marker, get_tracer().enabled),
         )
 
     def submit(self, lease: Lease) -> "Future":

@@ -142,6 +142,13 @@ class LeaseResult:
             *delta* attributable to this lease (engines are reused across
             leases, so cumulative counters are diffed on the worker side).
         seconds: Worker-side wall time of the lease.
+        spans: The worker tracer's finished spans for this lease, as plain
+            dicts (:meth:`~repro.telemetry.Span.as_dict`); the scheduler
+            adopts them under its own lease span so a multi-process sweep
+            merges into one coherent trace.  Empty when tracing is disabled.
+        metrics: :func:`~repro.telemetry.diff_snapshots` of the worker's
+            metrics registry across the lease; the scheduler folds it into
+            the parent registry.
     """
 
     lease_id: int
@@ -150,6 +157,8 @@ class LeaseResult:
     outcomes: List[Dict[str, Any]] = field(default_factory=list)
     engine_stats: Dict[str, float] = field(default_factory=dict)
     seconds: float = 0.0
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
 
 def _chunk(units: Sequence[UnitPlan], size: int) -> List[Tuple[UnitPlan, ...]]:

@@ -27,6 +27,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..exceptions import DistributedError
+from ..telemetry import get_metrics, get_tracer
 from .plan import Lease, LeaseResult, ShardPlan, ShardTask
 
 __all__ = ["WorkQueue", "run_leases"]
@@ -219,49 +220,68 @@ def run_leases(
     inflight: Dict["Future", Lease] = {}
     worker_stats: Dict[str, Dict[str, float]] = {}
     last_heartbeat = time.monotonic()
+    tracer = get_tracer()
+    metrics = get_metrics()
 
-    while not queue.done:
-        queue.release_stragglers()
-        while len(inflight) < max(1, int(executor.capacity)):
-            lease = queue.next_lease()
-            if lease is None:
-                break
-            inflight[executor.submit(lease)] = lease
-        if not inflight:
-            if queue.done:
-                break
-            raise DistributedError(
-                "scheduler stalled: tasks remain but nothing is leasable or in flight"
-            )
-        finished, _ = wait(inflight, timeout=poll_interval, return_when=FIRST_COMPLETED)
-        for future in finished:
-            lease = inflight.pop(future)
-            try:
-                result: LeaseResult = future.result()
-            except BrokenProcessPool as error:
-                # One worker died abruptly; every in-flight future on the
-                # poisoned pool fails the same way.  The executor rebuilds
-                # its pool on the next submit; here we only re-queue.
-                queue.fail(lease, error)
-            except DistributedError:
-                raise
-            except Exception as error:  # noqa: BLE001 - worker isolation boundary
-                queue.fail(lease, error)
-            else:
-                fresh = queue.complete(lease, result)
-                stats = worker_stats.setdefault(result.worker, {})
-                for key, value in result.engine_stats.items():
-                    if key.endswith("entries"):
-                        stats[key] = max(stats.get(key, 0), value)
-                    else:
-                        stats[key] = stats.get(key, 0) + value
-                stats["seconds"] = round(stats.get("seconds", 0.0) + result.seconds, 6)
-                stats["leases"] = stats.get("leases", 0) + 1
-                on_outcomes(lease, fresh)
-        now = time.monotonic()
-        if heartbeat is not None and now - last_heartbeat >= heartbeat_interval:
-            heartbeat(queue.progress())
-            last_heartbeat = now
+    with tracer.span("scheduler.run_leases", scenario=plan.scenario, tasks=len(plan.tasks)):
+        while not queue.done:
+            queue.release_stragglers()
+            while len(inflight) < max(1, int(executor.capacity)):
+                lease = queue.next_lease()
+                if lease is None:
+                    break
+                inflight[executor.submit(lease)] = lease
+            if not inflight:
+                if queue.done:
+                    break
+                raise DistributedError(
+                    "scheduler stalled: tasks remain but nothing is leasable or in flight"
+                )
+            finished, _ = wait(inflight, timeout=poll_interval, return_when=FIRST_COMPLETED)
+            for future in finished:
+                lease = inflight.pop(future)
+                try:
+                    result: LeaseResult = future.result()
+                except BrokenProcessPool as error:
+                    # One worker died abruptly; every in-flight future on the
+                    # poisoned pool fails the same way.  The executor rebuilds
+                    # its pool on the next submit; here we only re-queue.
+                    queue.fail(lease, error)
+                except DistributedError:
+                    raise
+                except Exception as error:  # noqa: BLE001 - worker isolation boundary
+                    queue.fail(lease, error)
+                else:
+                    fresh = queue.complete(lease, result)
+                    stats = worker_stats.setdefault(result.worker, {})
+                    for key, value in result.engine_stats.items():
+                        if key.endswith("entries"):
+                            stats[key] = max(stats.get(key, 0), value)
+                        else:
+                            stats[key] = stats.get(key, 0) + value
+                    stats["seconds"] = round(stats.get("seconds", 0.0) + result.seconds, 6)
+                    stats["leases"] = stats.get("leases", 0) + 1
+                    # Fold the worker's telemetry into this process.  Metric
+                    # deltas always merge (duplicate leases did real work);
+                    # spans only when the lease contributed fresh outcomes,
+                    # so a straggler double-completion cannot double a trace.
+                    lease_span = tracer.emit(
+                        "scheduler.lease",
+                        result.seconds,
+                        worker=result.worker,
+                        task=result.task_id,
+                        attempt=lease.attempt,
+                        fresh=len(fresh),
+                    )
+                    if result.spans and (fresh or not result.outcomes):
+                        tracer.adopt(result.spans, parent=lease_span)
+                    if result.metrics:
+                        metrics.merge_snapshot(result.metrics)
+                    on_outcomes(lease, fresh)
+            now = time.monotonic()
+            if heartbeat is not None and now - last_heartbeat >= heartbeat_interval:
+                heartbeat(queue.progress())
+                last_heartbeat = now
 
     progress = queue.progress()
     progress["duplicate_units"] = queue.duplicate_units

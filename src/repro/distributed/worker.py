@@ -25,6 +25,7 @@ import warnings
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..exceptions import BackendCapacityError, MitigationError
+from ..telemetry import configure_tracing, diff_snapshots, get_metrics, get_tracer
 from .plan import Lease, LeaseResult, ShardTask
 
 __all__ = ["initialize_worker", "execute_lease", "worker_id"]
@@ -50,17 +51,29 @@ def worker_id() -> str:
 
 
 def initialize_worker(
-    store_path: Optional[str] = None, crash_marker: Optional[str] = None
+    store_path: Optional[str] = None,
+    crash_marker: Optional[str] = None,
+    trace: bool = False,
 ) -> None:
     """Process-pool initializer: open per-process handles from plain config.
 
     Importing :mod:`repro.benchmarks` here (not at module import) keeps the
     registration side effects inside the worker even under the ``spawn``
     start method, where the child inherits nothing from the parent.
+
+    Args:
+        trace: Whether the parent's tracer was enabled at pool creation —
+            worker spans are only worth recording when someone upstream will
+            adopt them.  The worker id becomes the span-id prefix so merged
+            traces never collide, and any spans inherited through a ``fork``
+            start are discarded (they belong to the parent's buffer).
     """
     global _STORE, _CRASH_MARKER
     import repro.benchmarks  # noqa: F401 - registers the benchmark families
 
+    tracer = configure_tracing(enabled=trace, id_prefix=f"{worker_id()}-")
+    tracer.clear()
+    tracer.reset_context()  # a fork child inherits the parent's open spans
     _CRASH_MARKER = crash_marker
     if store_path is not None:
         from ..store import ResultStore
@@ -101,6 +114,25 @@ def _maybe_crash(completed_units: int, total_units: int) -> None:
         os.kill(os.getpid(), signal.SIGKILL)
 
 
+def _qualify_instances(delta: Dict[str, Any]) -> Dict[str, Any]:
+    """Prefix ``instance`` label values with the worker id before shipping.
+
+    Under the ``fork`` start method a worker inherits the parent's instance
+    counter, so a cache built in the worker can carry the same instance
+    label as one built later in the parent; qualifying with the worker id
+    keeps merged series unambiguous and per-worker attributable.
+    """
+    wid = worker_id()
+    for entry in delta.values():
+        if "instance" not in entry.get("labelnames", ()):
+            continue
+        for row in entry["series"]:
+            labels = row.get("labels", {})
+            if "instance" in labels and not str(labels["instance"]).startswith(wid):
+                labels["instance"] = f"{wid}/{labels['instance']}"
+    return delta
+
+
 def execute_lease(lease: Lease) -> LeaseResult:
     """Run one leased chunk of units and return their serialized outcomes.
 
@@ -108,6 +140,11 @@ def execute_lease(lease: Lease) -> LeaseResult:
     (run or skip) per unit, produced through ``ExecutionEngine.run_suite``
     so the store read-through, mitigation resolution and skip semantics are
     identical to the single-process path.
+
+    Telemetry rides back on the :class:`LeaseResult`: the lease's finished
+    spans (drained, so the next lease starts clean) and the metrics-registry
+    delta across the lease — the scheduler adopts/merges both into the
+    parent process.
     """
     from ..suite.results import SpecOutcome
     from ..suite.spec import BenchmarkSpec
@@ -116,6 +153,10 @@ def execute_lease(lease: Lease) -> LeaseResult:
     started = time.perf_counter()
     engine = _engine_for(task)
     stats_before = engine.stats()
+    tracer = get_tracer()
+    metrics = get_metrics()
+    metrics_before = metrics.snapshot()
+    tracer.clear()  # ship only this lease's spans, whatever ran before
 
     benchmarks = [BenchmarkSpec.from_dict(unit.spec_dict()).build() for unit in task.units]
     cursor = iter(task.units)
@@ -154,15 +195,23 @@ def execute_lease(lease: Lease) -> LeaseResult:
         )
         _maybe_crash(len(outcomes), len(task.units))
 
-    engine.run_suite(
-        benchmarks,
-        shots=task.shots,
-        repetitions=task.repetitions,
-        seed=task.seed,
-        mitigation=task.mitigation,
-        on_result=on_result,
-        on_skip=on_skip,
-    )
+    with tracer.span(
+        "worker.lease",
+        task=task.task_id,
+        scenario=task.scenario,
+        worker=worker_id(),
+        attempt=lease.attempt,
+        units=len(task.units),
+    ):
+        engine.run_suite(
+            benchmarks,
+            shots=task.shots,
+            repetitions=task.repetitions,
+            seed=task.seed,
+            mitigation=task.mitigation,
+            on_result=on_result,
+            on_skip=on_skip,
+        )
 
     # Engines persist across leases, so report the stats *delta* — the
     # scheduler sums deltas per worker and the totals stay correct however
@@ -181,4 +230,6 @@ def execute_lease(lease: Lease) -> LeaseResult:
         outcomes=outcomes,
         engine_stats=delta,
         seconds=time.perf_counter() - started,
+        spans=[span.as_dict() for span in tracer.drain()],
+        metrics=_qualify_instances(diff_snapshots(metrics.snapshot(), metrics_before)),
     )

@@ -33,6 +33,7 @@ from ..circuits import Circuit
 from ..circuits.columnar import OPCODE_TABLE_DIGEST
 from ..devices import Device
 from ..simulation.noise_model import NoiseModel
+from ..telemetry import get_metrics, instance_label
 from ..transpiler import TranspiledCircuit, preset_pipeline, transpile
 from ..transpiler.placement import Placement
 
@@ -108,22 +109,53 @@ class CacheEntry:
             return self._noise_model
 
 
+_LOOKUPS = get_metrics().counter(
+    "repro_transpile_cache_lookups_total",
+    "Transpile-cache lookups by result.",
+    ("instance", "result"),
+)
+_ENTRIES = get_metrics().gauge(
+    "repro_transpile_cache_entries",
+    "Compiled entries currently held per transpile cache.",
+    ("instance",),
+)
+
+
 class TranspileCache:
     """Memoises ``transpile()`` keyed on ``(circuit, device, pipeline)`` fingerprints.
 
     Attributes:
         hits: Number of lookups answered from the cache.
         misses: Number of lookups that had to invoke the transpiler.
+
+    Both counters are series of the process-wide metrics registry
+    (``repro_transpile_cache_lookups_total``, labeled per instance), read
+    back here so ``stats()`` stays the historical flat dict while
+    ``GET /metrics`` sees every cache at once.
     """
 
     def __init__(self) -> None:
         self._entries: Dict[Tuple[str, str, str], CacheEntry] = {}
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self._id = instance_label("tc")
+        self._hit_series = _LOOKUPS.labels(instance=self._id, result="hit")
+        self._miss_series = _LOOKUPS.labels(instance=self._id, result="miss")
+        # clear() baselines: registry counters are monotonic, the cache's
+        # historical counters reset — stats report (series - baseline).
+        self._hits_base = 0.0
+        self._misses_base = 0.0
+        _ENTRIES.set_callback(self.__len__, instance=self._id)
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        return int(self._hit_series.value() - self._hits_base)
+
+    @property
+    def misses(self) -> int:
+        return int(self._miss_series.value() - self._misses_base)
 
     def get_or_transpile(
         self,
@@ -150,9 +182,9 @@ class TranspileCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
-                self.hits += 1
+                self._hit_series.add(1.0)
                 return entry
-            self.misses += 1
+            self._miss_series.add(1.0)
         # Transpile outside the lock so a slow compilation does not serialise
         # unrelated lookups.  A concurrent duplicate compile is harmless:
         # output is deterministic and setdefault keeps the first inserted
@@ -177,8 +209,8 @@ class TranspileCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
-            self.hits = 0
-            self.misses = 0
+            self._hits_base = self._hit_series.value()
+            self._misses_base = self._miss_series.value()
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss counters plus current size, for logging and tests."""

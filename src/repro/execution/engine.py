@@ -23,7 +23,6 @@ circuit's position, so results are bit-identical for ``max_workers=1`` and
 
 from __future__ import annotations
 
-import threading
 import time
 import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -37,6 +36,7 @@ from ..features import typical_features
 from ..mitigation import CalibrationCache, Mitigator, is_raw_spec, resolve_mitigator
 from ..mitigation.calibration import calibration_seed
 from ..simulation import Counts, QuasiDistribution
+from ..telemetry import get_metrics, get_tracer, instance_label
 from .backends import Backend, backend_metadata, circuit_seed, resolve_backend
 from .cache import CacheEntry, TranspileCache, circuit_fingerprint
 from .job import Job
@@ -46,6 +46,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..store import ResultStore
 
 __all__ = ["ExecutionEngine", "REPETITION_STRIDE"]
+
+_EXECUTIONS = get_metrics().counter(
+    "repro_engine_executions_total",
+    "Circuit executions dispatched to the backend.",
+    ("instance",),
+)
+_STORE_LOOKUPS = get_metrics().counter(
+    "repro_engine_store_lookups_total",
+    "Per-engine content-key store lookups by result.",
+    ("instance", "result"),
+)
 
 #: Per-repetition seed stride (kept identical to the historical runner so
 #: seeded benchmark scores are reproducible across releases).
@@ -120,13 +131,14 @@ class ExecutionEngine:
         )
         self.store = store
         self._executor: Optional[ThreadPoolExecutor] = None
-        self._counter_lock = threading.Lock()
-        self._executions = 0
-        # Engine-local store traffic (a store may be shared across engines;
-        # these count only this engine's lookups, so per-engine stats compose
-        # correctly when the suite layer aggregates them shard by shard).
-        self._store_hits = 0
-        self._store_misses = 0
+        # Engine-local counters as registry series (a store may be shared
+        # across engines; these count only this engine's lookups, so
+        # per-engine stats compose correctly when the suite layer aggregates
+        # them shard by shard).
+        self._id = instance_label("engine")
+        self._execution_series = _EXECUTIONS.labels(instance=self._id)
+        self._store_hit_series = _STORE_LOOKUPS.labels(instance=self._id, result="hit")
+        self._store_miss_series = _STORE_LOOKUPS.labels(instance=self._id, result="miss")
         # (optimization_level, placement) -> (pipeline fingerprint, noise
         # fingerprint): the per-engine half of the store content key, computed
         # lazily once per placement strategy actually used.
@@ -298,8 +310,7 @@ class ExecutionEngine:
         )
 
     def _run_one(self, compact: Circuit, shots: int, noise, seed: Optional[int]) -> Counts:
-        with self._counter_lock:
-            self._executions += 1
+        self._execution_series.add(1.0)
         return self.backend.run_batch([compact], shots, noise_model=[noise], seed=seed)[0]
 
     # ------------------------------------------------------------------
@@ -531,30 +542,53 @@ class ExecutionEngine:
         started = time.perf_counter()
         strategy = self.placement if placement is None else placement
         mitigator = self._call_mitigator(mitigation)
-        circuits = benchmark.circuits()
-        entries = self.prepare(circuits, placement=strategy)
+        tracer = get_tracer()
+        with tracer.span(
+            "engine.run",
+            benchmark=str(benchmark),
+            device=self.device.name,
+            backend=self.backend.name,
+            mitigation=mitigator.name if mitigator is not None else "raw",
+            repetitions=repetitions,
+        ):
+            circuits = benchmark.circuits()
+            with tracer.span("engine.transpile", circuits=len(circuits)):
+                entries = self.prepare(circuits, placement=strategy)
 
-        if mitigator is None:
-            jobs: List[Job] = []
-            for repetition in range(repetitions):
-                repetition_seed = None if seed is None else seed + REPETITION_STRIDE * repetition
-                jobs.append(self._submit_prepared(circuits, entries, shots, repetition_seed))
-            scores = [benchmark.score(job.result()) for job in jobs]
-        else:
-            calibrations = [self._calibration_for(mitigator, entry) for entry in entries]
-            variant_groups = self._transform_variants(entries, mitigator)
-            submissions = []
-            for repetition in range(repetitions):
-                repetition_seed = None if seed is None else seed + REPETITION_STRIDE * repetition
-                submissions.append(
-                    self._submit_variants(entries, variant_groups, shots, repetition_seed)
-                )
-            scores = [
-                benchmark.score(
-                    self._collect_variants(futures, sizes, entries, mitigator, calibrations)
-                )
-                for futures, sizes in submissions
-            ]
+            if mitigator is None:
+                with tracer.span("engine.simulate", shots=shots):
+                    jobs: List[Job] = []
+                    for repetition in range(repetitions):
+                        repetition_seed = (
+                            None if seed is None else seed + REPETITION_STRIDE * repetition
+                        )
+                        jobs.append(
+                            self._submit_prepared(circuits, entries, shots, repetition_seed)
+                        )
+                    scores = [benchmark.score(job.result()) for job in jobs]
+            else:
+                with tracer.span("engine.mitigate", technique=mitigator.name):
+                    calibrations = [
+                        self._calibration_for(mitigator, entry) for entry in entries
+                    ]
+                    variant_groups = self._transform_variants(entries, mitigator)
+                with tracer.span("engine.simulate", shots=shots):
+                    submissions = []
+                    for repetition in range(repetitions):
+                        repetition_seed = (
+                            None if seed is None else seed + REPETITION_STRIDE * repetition
+                        )
+                        submissions.append(
+                            self._submit_variants(entries, variant_groups, shots, repetition_seed)
+                        )
+                    scores = [
+                        benchmark.score(
+                            self._collect_variants(
+                                futures, sizes, entries, mitigator, calibrations
+                            )
+                        )
+                        for futures, sizes in submissions
+                    ]
 
         first = entries[0]
         return BenchmarkRun(
@@ -629,53 +663,60 @@ class ExecutionEngine:
         mitigator = self._call_mitigator(mitigation)
         resolved = mitigator if mitigator is not None else "raw"
         store = store if store is not None else self.store
+        tracer = get_tracer()
         runs: List[BenchmarkRun] = []
         for benchmark in benchmarks:
-            key = None
-            if store is not None:
-                key = self.content_key(
-                    benchmark, shots, repetitions, seed,
-                    placement=placement, mitigation=resolved,
-                )
-                cached = store.get_run(key)
-                with self._counter_lock:
+            with tracer.span(
+                "engine.benchmark", benchmark=str(benchmark), device=self.device.name
+            ) as spec_span:
+                key = None
+                if store is not None:
+                    key = self.content_key(
+                        benchmark, shots, repetitions, seed,
+                        placement=placement, mitigation=resolved,
+                    )
+                    cached = store.get_run(key)
                     if cached is not None:
-                        self._store_hits += 1
+                        self._store_hit_series.add(1.0)
                     else:
-                        self._store_misses += 1
-                if cached is not None:
-                    runs.append(cached)
-                    if on_result is not None:
-                        on_result(benchmark, cached)
-                    continue
-            try:
-                run = self.run(
-                    benchmark,
-                    shots=shots,
-                    repetitions=repetitions,
-                    seed=seed,
-                    placement=placement,
-                    mitigation=resolved,
-                )
-            except MitigationError as error:
-                # With a skip hook installed its owner decides how to report
-                # (the suite runner warns itself); warn here only for direct
-                # callers so the event is never reported twice.
-                if on_skip is not None:
-                    on_skip(benchmark, error)
+                        self._store_miss_series.add(1.0)
+                    if cached is not None:
+                        spec_span.set_attribute("status", "store_hit")
+                        runs.append(cached)
+                        if on_result is not None:
+                            on_result(benchmark, cached)
+                        continue
+                try:
+                    run = self.run(
+                        benchmark,
+                        shots=shots,
+                        repetitions=repetitions,
+                        seed=seed,
+                        placement=placement,
+                        mitigation=resolved,
+                    )
+                except MitigationError as error:
+                    # With a skip hook installed its owner decides how to report
+                    # (the suite runner warns itself); warn here only for direct
+                    # callers so the event is never reported twice.
+                    spec_span.set_attribute("status", "skipped")
+                    if on_skip is not None:
+                        on_skip(benchmark, error)
+                    else:
+                        warnings.warn(f"skipping {benchmark}: {error}", stacklevel=2)
+                except DeviceError as error:
+                    if not skip_oversized:
+                        raise
+                    spec_span.set_attribute("status", "skipped")
+                    if on_skip is not None:
+                        on_skip(benchmark, error)
                 else:
-                    warnings.warn(f"skipping {benchmark}: {error}", stacklevel=2)
-            except DeviceError as error:
-                if not skip_oversized:
-                    raise
-                if on_skip is not None:
-                    on_skip(benchmark, error)
-            else:
-                runs.append(run)
-                if store is not None and key is not None:
-                    store.put_run(key, run)
-                if on_result is not None:
-                    on_result(benchmark, run)
+                    spec_span.set_attribute("status", "executed")
+                    runs.append(run)
+                    if store is not None and key is not None:
+                        store.put_run(key, run)
+                    if on_result is not None:
+                        on_result(benchmark, run)
         return runs
 
     # ------------------------------------------------------------------
@@ -694,10 +735,9 @@ class ExecutionEngine:
         stats = dict(self.cache.stats())
         for key, value in self.calibration_cache.stats().items():
             stats[f"calibration_{key}"] = value
-        with self._counter_lock:
-            stats["store_hits"] = self._store_hits
-            stats["store_misses"] = self._store_misses
-            stats["executions"] = self._executions
+        stats["store_hits"] = int(self._store_hit_series.value())
+        stats["store_misses"] = int(self._store_miss_series.value())
+        stats["executions"] = int(self._execution_series.value())
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -710,5 +750,8 @@ class ExecutionEngine:
             f"calibration_cache={calibration['hits']}h/{calibration['misses']}m"
         )
         if self.store is not None:
-            text += f", store={self._store_hits}h/{self._store_misses}m"
+            text += (
+                f", store={int(self._store_hit_series.value())}h/"
+                f"{int(self._store_miss_series.value())}m"
+            )
         return text + ")"

@@ -26,6 +26,8 @@ import hashlib
 import threading
 from typing import Callable, Dict, Optional, Tuple
 
+from ..telemetry import get_metrics, instance_label
+
 __all__ = ["CalibrationCache", "calibration_seed"]
 
 #: A calibration-cache key: (device, physical qubits, noise fingerprint,
@@ -44,22 +46,50 @@ def calibration_seed(key: CalibrationKey) -> int:
     return int.from_bytes(digest[:4], "big")
 
 
+_LOOKUPS = get_metrics().counter(
+    "repro_calibration_cache_lookups_total",
+    "Calibration-cache lookups by result.",
+    ("instance", "result"),
+)
+_ENTRIES = get_metrics().gauge(
+    "repro_calibration_cache_entries",
+    "Calibration entries currently held per calibration cache.",
+    ("instance",),
+)
+
+
 class CalibrationCache:
     """Memoises calibration data keyed on (device, qubits, noise, technique).
 
     Attributes:
         hits: Lookups answered from the cache.
         misses: Lookups that had to issue calibration jobs.
+
+    Counters live in the process-wide metrics registry
+    (``repro_calibration_cache_lookups_total``) and are read back here so
+    ``stats()`` keeps its historical flat keys.
     """
 
     def __init__(self) -> None:
         self._entries: Dict[CalibrationKey, object] = {}
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self._id = instance_label("cc")
+        self._hit_series = _LOOKUPS.labels(instance=self._id, result="hit")
+        self._miss_series = _LOOKUPS.labels(instance=self._id, result="miss")
+        self._hits_base = 0.0
+        self._misses_base = 0.0
+        _ENTRIES.set_callback(self.__len__, instance=self._id)
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        return int(self._hit_series.value() - self._hits_base)
+
+    @property
+    def misses(self) -> int:
+        return int(self._miss_series.value() - self._misses_base)
 
     def get_or_compute(
         self, key: CalibrationKey, compute: Callable[[], object]
@@ -76,9 +106,9 @@ class CalibrationCache:
         """
         with self._lock:
             if key in self._entries:
-                self.hits += 1
+                self._hit_series.add(1.0)
                 return self._entries[key]
-            self.misses += 1
+            self._miss_series.add(1.0)
         value = compute()
         with self._lock:
             if key in self._entries:
@@ -94,8 +124,8 @@ class CalibrationCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
-            self.hits = 0
-            self.misses = 0
+            self._hits_base = self._hit_series.value()
+            self._misses_base = self._miss_series.value()
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss counters plus current size, for logging and tests."""

@@ -61,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
         "default threaded path)",
     )
     run.add_argument("--save", default=None, help="persist the SuiteResult JSON to this path")
+    run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a trace of the run and write it as Chrome trace-event "
+        "JSON (open in Perfetto or chrome://tracing); multi-process runs "
+        "merge worker spans into the same file",
+    )
 
     query = sub.add_parser("query", help="inspect stored benchmark results")
     query.add_argument("--store", default="results.sqlite", help="result-store sqlite file")
@@ -107,6 +113,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         reproduce_figure2_result if args.scenario == "figure2"
         else reproduce_mitigated_scores_result
     )
+    tracer = None
+    if args.trace:
+        from ..telemetry import configure_tracing
+
+        tracer = configure_tracing(enabled=True, seed=args.seed)
     store = ResultStore(args.store) if args.store else None
     try:
         result = driver(
@@ -124,6 +135,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         if args.save:
             result.to_json(args.save)
+        if tracer is not None:
+            from ..telemetry.export import spans_to_chrome_trace
+
+            with open(args.trace, "w", encoding="utf-8") as handle:
+                json.dump(spans_to_chrome_trace(tracer.finished()), handle)
+            print(f"trace written to {args.trace} ({len(tracer.finished())} spans)")
         print(render_figure2(result))
         totals: Dict[str, int] = {}
         for stats in result.engine_stats.values():

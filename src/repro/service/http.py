@@ -15,9 +15,13 @@ GET       ``/jobs/<id>``              One job's status snapshot.
 DELETE    ``/jobs/<id>``              Cancel a queued/running job.
 GET       ``/jobs/<id>/outcomes``     NDJSON stream of the job's outcomes,
                                       live while it runs.
+GET       ``/jobs/<id>/trace``        NDJSON spans of the job's trace (the
+                                      finished spans recorded so far).
 GET       ``/results``                Stored rows, filterable by
                                       ``family/device/mitigation/scenario/
                                       kind/limit``.
+GET       ``/metrics``                Prometheus text exposition of the
+                                      process metrics registry.
 ========  ==========================  ==========================================
 
 ``POST /scenarios`` accepts either a named scenario::
@@ -34,16 +38,22 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..exceptions import ReproError, ServiceError
 from ..suite.scenarios import figure2_scenario, mitigated_scenario
 from ..suite.sweep import Scenario
+from ..telemetry import get_metrics, get_tracer
+from ..telemetry.export import spans_to_ndjson, to_prometheus
 from .jobs import JobQueue
 
 __all__ = ["BenchmarkService", "resolve_scenario"]
+
+#: ``GET /stats`` payload schema version — bump on breaking shape changes.
+STATS_SCHEMA = 2
 
 #: Named scenario factories the POST body may reference by string.
 _NAMED_SCENARIOS = {
@@ -51,6 +61,28 @@ _NAMED_SCENARIOS = {
     "mitigated": mitigated_scenario,
     "mitigated_scores": mitigated_scenario,
 }
+
+_REQUESTS = get_metrics().counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method, route template and status code.",
+    ("method", "route", "status"),
+)
+_REQUEST_SECONDS = get_metrics().histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency by method and route template.",
+    ("method", "route"),
+)
+
+
+def _route_label(path: str) -> str:
+    """Collapse job ids so the request metrics stay low-cardinality."""
+    if path.startswith("/jobs/"):
+        if path.endswith("/outcomes"):
+            return "/jobs/<id>/outcomes"
+        if path.endswith("/trace"):
+            return "/jobs/<id>/trace"
+        return "/jobs/<id>"
+    return path
 
 
 def resolve_scenario(body: Dict[str, Any]) -> Scenario:
@@ -99,9 +131,19 @@ class _Handler(BaseHTTPRequestHandler):
     # plumbing
     # ------------------------------------------------------------------
     def _send_json(self, payload: Any, status: int = 200) -> None:
+        self._status = status
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, content_type: str) -> None:
+        self._status = 200
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -130,17 +172,41 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
+    def _handle(self, method: str, inner: Callable[[str, Dict[str, str]], None]) -> None:
+        """Run one request through the telemetry wrapper (span + metrics)."""
         path, query = self._route()
+        route = _route_label(path)
+        self._status = 200
+        started = time.perf_counter()
+        try:
+            with get_tracer().span("http.request", method=method, route=route) as span:
+                inner(path, query)
+                span.set_attribute("status", self._status)
+        finally:
+            elapsed = time.perf_counter() - started
+            _REQUEST_SECONDS.observe(elapsed, method=method, route=route)
+            _REQUESTS.inc(method=method, route=route, status=str(self._status))
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._handle("GET", self._get)
+
+    def _get(self, path: str, query: Dict[str, str]) -> None:
         try:
             if path == "/healthz":
                 self._send_json({"status": "ok"})
             elif path == "/stats":
                 self._send_json(self.service.stats())
+            elif path == "/metrics":
+                self._send_text(
+                    to_prometheus(get_metrics().snapshot()),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             elif path == "/jobs":
                 self._send_json({"jobs": self.service.queue.jobs()})
             elif path.startswith("/jobs/") and path.endswith("/outcomes"):
                 self._stream_outcomes(path.split("/")[2])
+            elif path.startswith("/jobs/") and path.endswith("/trace"):
+                self._send_trace(path.split("/")[2])
             elif path.startswith("/jobs/"):
                 self._send_json(self.service.queue.status(path.split("/")[2]))
             elif path == "/results":
@@ -151,7 +217,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(str(error), 404 if "unknown job" in str(error) else 400)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        path, _ = self._route()
+        self._handle("POST", self._post)
+
+    def _post(self, path: str, query: Dict[str, str]) -> None:
         try:
             if path == "/scenarios":
                 body = self._read_body()
@@ -171,7 +239,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(f"bad knobs: {error}", 400)
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
-        path, _ = self._route()
+        self._handle("DELETE", self._delete)
+
+    def _delete(self, path: str, query: Dict[str, str]) -> None:
         try:
             if path.startswith("/jobs/"):
                 cancelled = self.service.queue.cancel(path.split("/")[2])
@@ -205,6 +275,18 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.flush()
         self.close_connection = True
 
+    def _send_trace(self, job_id: str) -> None:
+        """NDJSON dump of the job's finished spans recorded so far.
+
+        A snapshot, not a live stream: the tracer's buffer is filtered by
+        the job's ``trace_id`` (empty body while the job is still queued or
+        when tracing is disabled).
+        """
+        status = self.service.queue.status(job_id)  # 404 on unknown ids
+        trace_id = status.get("trace_id", "")
+        spans = get_tracer().finished(trace_id) if trace_id else []
+        self._send_text(spans_to_ndjson(spans), "application/x-ndjson")
+
 
 class BenchmarkService:
     """The HTTP benchmark service: job queue + store behind a REST surface.
@@ -231,6 +313,7 @@ class BenchmarkService:
         self.store = store
         self.queue = queue if queue is not None else JobQueue(store=store, workers=workers)
         self.stream_timeout = float(stream_timeout)
+        self._started = time.time()
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.daemon_threads = True
         self._server.service = self  # type: ignore[attr-defined]
@@ -248,8 +331,21 @@ class BenchmarkService:
         return f"http://{host}:{port}"
 
     def stats(self) -> Dict[str, Any]:
-        """Combined service counters served by ``GET /stats``."""
-        data: Dict[str, Any] = {"queue": self.queue.stats()}
+        """Combined service counters served by ``GET /stats``.
+
+        Honestly heterogeneous: flat-int queue counters under ``"queue"``,
+        nested per-engine float/int maps under ``"engines"`` — plus payload
+        metadata (``schema`` version of this shape, package ``version``,
+        ``uptime_seconds`` since service construction).
+        """
+        from .. import __version__  # deferred: repro/__init__ imports this module
+
+        data: Dict[str, Any] = {
+            "schema": STATS_SCHEMA,
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "queue": self.queue.stats(),
+        }
         engines = self.queue.engine_stats()
         if engines:
             data["engines"] = engines

@@ -34,8 +34,29 @@ from ..exceptions import ServiceError
 from ..suite.results import SpecOutcome, SuiteResult
 from ..suite.runner import run_scenario
 from ..suite.sweep import Scenario
+from ..telemetry import get_metrics, get_tracer, instance_label
 
 __all__ = ["JobQueue", "JobRecord", "JobCancelled"]
+
+_JOBS = get_metrics().gauge(
+    "repro_service_jobs",
+    "Job-queue occupancy by job status.",
+    ("instance", "status"),
+)
+_RETRIES = get_metrics().counter(
+    "repro_service_job_retries_total",
+    "Jobs re-queued after a failed attempt.",
+    ("instance",),
+)
+_JOB_SECONDS = get_metrics().histogram(
+    "repro_service_job_seconds",
+    "Wall-clock job duration from first start to terminal state.",
+    ("instance", "status"),
+)
+
+#: Every job status a record can hold (the gauge reports all of them, zeroes
+#: included, so dashboards get stable series).
+_STATUSES = ("queued", "running", "done", "failed", "cancelled")
 
 
 class JobCancelled(Exception):
@@ -59,6 +80,9 @@ class JobRecord:
     #: Streamed outcome payloads, in arrival order (grows while running).
     outcomes: List[Dict[str, Any]] = field(default_factory=list)
     cancel_requested: bool = False
+    #: Trace id of the job's ``job.run`` span ("" while queued or when
+    #: tracing is disabled) — keys ``GET /jobs/<id>/trace``.
+    trace_id: str = ""
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-friendly status view served by ``GET /jobs/<id>``."""
@@ -77,6 +101,8 @@ class JobRecord:
         }
         if self.error:
             data["error"] = self.error
+        if self.trace_id:
+            data["trace_id"] = self.trace_id
         return data
 
 
@@ -113,12 +139,23 @@ class JobQueue:
         self._ids = itertools.count(1)
         self._closed = False
         self._retries = 0
+        self._id = instance_label("jobs")
+        self._retry_series = _RETRIES.labels(instance=self._id)
+        _JOBS.add_collector(self._gauge_rows)
         self._workers = [
             threading.Thread(target=self._worker, name=f"repro-job-{i}", daemon=True)
             for i in range(int(workers))
         ]
         for thread in self._workers:
             thread.start()
+
+    def _gauge_rows(self) -> Dict[tuple, int]:
+        """Occupancy rows for the ``repro_service_jobs`` gauge."""
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {(self._id, status): by_status.get(status, 0) for status in _STATUSES}
 
     # ------------------------------------------------------------------
     # client surface
@@ -298,12 +335,22 @@ class JobQueue:
                     job.result = SuiteResult(scenario=job.scenario.name)
                 partial = job.result
             try:
-                result = self._run(job, partial)
+                with get_tracer().span(
+                    "job.run",
+                    job=job.id,
+                    scenario=job.scenario.name,
+                    attempt=job.attempts,
+                ) as span:
+                    if span.recording:
+                        with self._changed:
+                            job.trace_id = span.trace_id
+                    result = self._run(job, partial)
             except JobCancelled:
                 with self._changed:
                     job.status = "cancelled"
                     job.finished_at = time.time()
                     self._changed.notify_all()
+                self._observe_terminal(job)
             except Exception as error:  # noqa: BLE001 - job isolation boundary
                 retry = False
                 with self._changed:
@@ -311,6 +358,7 @@ class JobQueue:
                     if job.attempts < self.max_attempts and not job.cancel_requested:
                         job.status = "queued"
                         self._retries += 1
+                        self._retry_series.add(1.0)
                         retry = True
                     else:
                         job.status = "failed"
@@ -319,6 +367,8 @@ class JobQueue:
                     self._changed.notify_all()
                 if retry:
                     self._queue.put(job_id)
+                else:
+                    self._observe_terminal(job)
             else:
                 with self._changed:
                     job.result = result
@@ -326,6 +376,17 @@ class JobQueue:
                     job.error = ""
                     job.finished_at = time.time()
                     self._changed.notify_all()
+                self._observe_terminal(job)
+
+    def _observe_terminal(self, job: JobRecord) -> None:
+        """Record the job's total duration under its terminal status."""
+        if job.started_at is None or job.finished_at is None:
+            return
+        _JOB_SECONDS.observe(
+            max(0.0, job.finished_at - job.started_at),
+            instance=self._id,
+            status=job.status,
+        )
 
     def _run(self, job: JobRecord, partial: Optional[SuiteResult]) -> SuiteResult:
         def on_outcome(outcome: SpecOutcome) -> None:

@@ -21,6 +21,7 @@ index and the left-most character of result bitstrings.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,6 +30,7 @@ import numpy as np
 from ..circuits import Circuit
 from ..circuits.columnar import BARRIER_OP, MEASURE_OP, RESET_OP
 from ..exceptions import SimulationError
+from ..telemetry import get_metrics, get_tracer
 from . import kernels
 from .kernels import (
     FusedGate,
@@ -59,6 +61,15 @@ __all__ = [
 #: chunks (the chunk boundaries depend only on this constant and the circuit
 #: width, so seeded results do not depend on the host's memory).
 DEFAULT_MAX_BATCH_ELEMENTS = 1 << 21
+
+_PLAN_SECONDS = get_metrics().histogram(
+    "repro_simulation_plan_seconds",
+    "Latency of compiling a circuit into a trajectory plan.",
+)
+_BATCHES = get_metrics().counter(
+    "repro_simulation_trajectory_batches_total",
+    "Trajectory chunks evolved by the batched simulator.",
+)
 
 
 def apply_unitary(
@@ -410,7 +421,17 @@ class StatevectorSimulator:
 
     # ------------------------------------------------------------------
     def _run_batched_trajectories(self, circuit: Circuit, shots: int) -> Counts:
+        tracer = get_tracer()
+        plan_started = time.perf_counter()
         plan = _compile_trajectory_plan(circuit, self.noise_model)
+        plan_elapsed = time.perf_counter() - plan_started
+        _PLAN_SECONDS.observe(plan_elapsed)
+        tracer.emit(
+            "simulation.plan",
+            plan_elapsed,
+            prefix_steps=len(plan.prefix),
+            suffix_steps=len(plan.suffix),
+        )
         num_qubits = plan.num_qubits
         num_trajectories = self.trajectories or shots
         num_trajectories = max(1, min(num_trajectories, shots))
@@ -418,20 +439,28 @@ class StatevectorSimulator:
         shots_per = np.full(num_trajectories, base, dtype=np.int64)
         shots_per[:remainder] += 1
 
-        # Deterministic prefix: one statevector evolution for all trajectories.
-        psi = _initial_tensor(num_qubits, None)
-        for step in plan.prefix:
-            axes = [qubit_axis(q, num_qubits) for q in step.qubits]
-            psi = apply_kernel(psi, step.kernel, axes, strict=False)
+        with tracer.span(
+            "simulation.trajectories",
+            qubits=num_qubits,
+            trajectories=num_trajectories,
+            shots=shots,
+        ):
+            # Deterministic prefix: one statevector evolution for all
+            # trajectories.
+            psi = _initial_tensor(num_qubits, None)
+            for step in plan.prefix:
+                axes = [qubit_axis(q, num_qubits) for q in step.qubits]
+                psi = apply_kernel(psi, step.kernel, axes, strict=False)
 
-        dim = 2**num_qubits
-        chunk = max(1, self.max_batch_elements // dim)
-        counts: Dict[str, int] = {}
-        for start in range(0, num_trajectories, chunk):
-            stop = min(start + chunk, num_trajectories)
-            rows = self._evolve_and_sample_chunk(plan, psi, shots_per[start:stop])
-            for key, value in sample_counts_array(rows, plan.num_clbits).items():
-                counts[key] = counts.get(key, 0) + value
+            dim = 2**num_qubits
+            chunk = max(1, self.max_batch_elements // dim)
+            counts: Dict[str, int] = {}
+            for start in range(0, num_trajectories, chunk):
+                stop = min(start + chunk, num_trajectories)
+                _BATCHES.inc()
+                rows = self._evolve_and_sample_chunk(plan, psi, shots_per[start:stop])
+                for key, value in sample_counts_array(rows, plan.num_clbits).items():
+                    counts[key] = counts.get(key, 0) + value
         return Counts(counts, num_bits=plan.num_clbits)
 
     def _evolve_and_sample_chunk(

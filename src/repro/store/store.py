@@ -38,9 +38,30 @@ from typing import Any, Dict, List, Mapping, Optional, Union
 
 from ..exceptions import SchemaVersionError, StoreError
 from ..execution.results import BenchmarkRun
+from ..telemetry import get_metrics, get_tracer, instance_label
 from .keys import KEY_SCHEMA
 
 __all__ = ["ResultStore", "STORE_SCHEMA_VERSION", "PAYLOAD_VERSION"]
+
+_LOOKUPS = get_metrics().counter(
+    "repro_store_lookups_total",
+    "Result-store reads by result.",
+    ("instance", "result"),
+)
+_PUTS = get_metrics().counter(
+    "repro_store_puts_total", "Result-store row upserts.", ("instance",)
+)
+_EVICTIONS = get_metrics().counter(
+    "repro_store_evictions_total", "Rows evicted past the row cap.", ("instance",)
+)
+_ROWS = get_metrics().gauge(
+    "repro_store_rows", "Rows currently in the backing database.", ("instance",)
+)
+_OP_SECONDS = get_metrics().histogram(
+    "repro_store_op_seconds",
+    "Result-store operation latency by operation.",
+    ("instance", "op"),
+)
 
 #: Version of the *database* schema (tables, columns, indexes).  Bump it by
 #: appending to :data:`_MIGRATIONS`.
@@ -113,10 +134,17 @@ class ResultStore:
         self._local = threading.local()
         self._connections: List[sqlite3.Connection] = []
         self._counter_lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.puts = 0
-        self.evictions = 0
+        self._id = instance_label("store")
+        self._hit_series = _LOOKUPS.labels(instance=self._id, result="hit")
+        self._miss_series = _LOOKUPS.labels(instance=self._id, result="miss")
+        self._put_series = _PUTS.labels(instance=self._id)
+        self._eviction_series = _EVICTIONS.labels(instance=self._id)
+        self._op_get = _OP_SECONDS.labels(instance=self._id, op="get")
+        self._op_put = _OP_SECONDS.labels(instance=self._id, op="put")
+        self._op_query = _OP_SECONDS.labels(instance=self._id, op="query")
+        # The rows gauge reads __len__ lazily (weakly held, pruned once this
+        # instance is garbage-collected or its connections are closed).
+        _ROWS.set_callback(self.__len__, instance=self._id)
         if not self._memory:
             parent = pathlib.Path(self.path).resolve().parent
             parent.mkdir(parents=True, exist_ok=True)
@@ -202,6 +230,25 @@ class ResultStore:
         self.close()
 
     # ------------------------------------------------------------------
+    # counters (series of the process-wide metrics registry)
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return int(self._hit_series.value())
+
+    @property
+    def misses(self) -> int:
+        return int(self._miss_series.value())
+
+    @property
+    def puts(self) -> int:
+        return int(self._put_series.value())
+
+    @property
+    def evictions(self) -> int:
+        return int(self._eviction_series.value())
+
+    # ------------------------------------------------------------------
     # generic row access
     # ------------------------------------------------------------------
     def put(
@@ -225,6 +272,7 @@ class ResultStore:
         """
         meta = dict(meta or {})
         now = time.time()
+        started = time.perf_counter()
         connection = self._connection()
         connection.execute(
             """
@@ -254,21 +302,26 @@ class ResultStore:
                 now,
             ),
         )
-        with self._counter_lock:
-            self.puts += 1
+        self._put_series.add(1.0)
         if self.max_rows is not None:
             self._evict(connection)
+        elapsed = time.perf_counter() - started
+        self._op_put.observe(elapsed)
+        get_tracer().emit("store.put", elapsed, kind=kind, store=self._id)
 
     def get(self, key: str, kind: str) -> Optional[Dict[str, Any]]:
         """The payload stored under ``(key, kind)``, or ``None`` (counted)."""
+        started = time.perf_counter()
         connection = self._connection()
         row = connection.execute(
             "SELECT payload, schema_version FROM results WHERE key = ? AND kind = ?",
             (key, kind),
         ).fetchone()
         if row is None:
-            with self._counter_lock:
-                self.misses += 1
+            self._miss_series.add(1.0)
+            elapsed = time.perf_counter() - started
+            self._op_get.observe(elapsed)
+            get_tracer().emit("store.get", elapsed, kind=kind, result="miss", store=self._id)
             return None
         version = int(row["schema_version"])
         if version > PAYLOAD_VERSION:
@@ -282,8 +335,10 @@ class ResultStore:
             "WHERE key = ? AND kind = ?",
             (time.time(), key, kind),
         )
-        with self._counter_lock:
-            self.hits += 1
+        self._hit_series.add(1.0)
+        elapsed = time.perf_counter() - started
+        self._op_get.observe(elapsed)
+        get_tracer().emit("store.get", elapsed, kind=kind, result="hit", store=self._id)
         return json.loads(row["payload"])
 
     def _evict(self, connection: sqlite3.Connection) -> None:
@@ -300,8 +355,7 @@ class ResultStore:
                 "DELETE FROM results WHERE key = ? AND kind = ?",
                 (victim["key"], victim["kind"]),
             )
-        with self._counter_lock:
-            self.evictions += len(victims)
+        self._eviction_series.add(float(len(victims)))
 
     def purge_stale_keys(self) -> int:
         """Delete rows whose keys were derived under an older ``KEY_SCHEMA``.
@@ -446,12 +500,14 @@ class ResultStore:
         if limit is not None:
             sql += " LIMIT ?"
             parameters.append(int(limit))
+        started = time.perf_counter()
         rows = self._connection().execute(sql, parameters).fetchall()
         results = []
         for row in rows:
             record = {name: row[name] for name in row.keys()}
             record["payload"] = json.loads(record["payload"])
             results.append(record)
+        self._op_query.observe(time.perf_counter() - started)
         return results
 
     def __len__(self) -> int:
@@ -469,15 +525,16 @@ class ResultStore:
         """Hit/miss/put/eviction counters plus the current row count.
 
         Counters are per-instance (other processes sharing the file keep
-        their own); ``rows`` reflects the shared database.
+        their own); ``rows`` reflects the shared database.  The values are
+        views over the process-wide metrics registry — the same numbers
+        ``GET /metrics`` exports under ``repro_store_*``.
         """
-        with self._counter_lock:
-            counters = {
-                "hits": self.hits,
-                "misses": self.misses,
-                "puts": self.puts,
-                "evictions": self.evictions,
-            }
+        counters = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+        }
         counters["rows"] = len(self)
         return counters
 

@@ -24,6 +24,7 @@ import threading
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple, Type
 
 from ..exceptions import BenchmarkError, unknown_benchmark
+from ..telemetry import get_metrics, instance_label
 from .spec import BenchmarkSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -31,6 +32,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..features import FeatureVector
 
 __all__ = ["BenchmarkRegistry", "register_family", "get_registry", "DEFAULT_REGISTRY"]
+
+_ENTRIES = get_metrics().gauge(
+    "repro_registry_entries",
+    "Benchmark-registry occupancy (registered families, memoized instances).",
+    ("instance", "kind"),
+)
 
 
 class BenchmarkRegistry:
@@ -40,6 +47,16 @@ class BenchmarkRegistry:
         self._families: Dict[str, Type["Benchmark"]] = {}
         self._instances: Dict[BenchmarkSpec, "Benchmark"] = {}
         self._lock = threading.RLock()
+        self._id = instance_label("registry")
+        _ENTRIES.add_collector(self._gauge_rows)
+
+    def _gauge_rows(self) -> Dict[Tuple[str, str], int]:
+        """Occupancy rows for the ``repro_registry_entries`` gauge."""
+        with self._lock:
+            return {
+                (self._id, "families"): len(self._families),
+                (self._id, "instances"): len(self._instances),
+            }
 
     # ------------------------------------------------------------------
     # registration

@@ -27,6 +27,7 @@ from ..devices import get_device
 from ..exceptions import BackendCapacityError, DeviceError, DistributedError, MitigationError
 from ..execution import Backend, ExecutionEngine
 from ..mitigation import is_raw_spec, resolve_mitigator
+from ..telemetry import get_tracer
 from .registry import BenchmarkRegistry, get_registry
 from .results import SpecOutcome, SuiteResult
 from .sweep import EngineConfig, RunUnit, Scenario, Shard
@@ -134,57 +135,61 @@ def run_scenario(
         },
     )
 
-    if not (isinstance(executor, str) and executor == "thread"):
-        return _run_scenario_distributed(
-            scenario,
-            result,
-            executor,
-            shots=shots,
-            repetitions=repetitions,
-            seed=seed,
-            devices=devices,
-            trajectories=trajectories,
-            backend=backend,
-            on_outcome=on_outcome,
-            save_path=save_path,
-            store=store,
-            processes=processes,
-            lease_timeout=lease_timeout,
-            max_attempts=max_attempts,
-            chunk_size=chunk_size,
-            heartbeat=heartbeat,
-        )
+    tracer = get_tracer()
+    executor_label = executor if isinstance(executor, str) else type(executor).__name__
+    with tracer.span("suite.run_scenario", scenario=scenario.name, executor=executor_label):
+        if not (isinstance(executor, str) and executor == "thread"):
+            return _run_scenario_distributed(
+                scenario,
+                result,
+                executor,
+                shots=shots,
+                repetitions=repetitions,
+                seed=seed,
+                devices=devices,
+                trajectories=trajectories,
+                backend=backend,
+                on_outcome=on_outcome,
+                save_path=save_path,
+                store=store,
+                processes=processes,
+                lease_timeout=lease_timeout,
+                max_attempts=max_attempts,
+                chunk_size=chunk_size,
+                heartbeat=heartbeat,
+            )
 
-    for shard in scenario.shards(devices):
-        pending_groups = [
-            (mitigation, [unit for unit in units if unit.key() not in result])
-            for mitigation, units in shard.groups
-        ]
-        if not any(units for _, units in pending_groups):
-            continue
-        device = get_device(shard.engine.device)
-        with ExecutionEngine(
-            device,
-            backend=backend if backend is not None else shard.engine.backend,
-            max_workers=max_workers,
-            optimization_level=shard.engine.optimization_level,
-            placement=shard.engine.placement,
-            store=store,
-            trajectories=trajectories,
-        ) as engine:
-            for mitigation, units in pending_groups:
-                if not units:
-                    continue
-                _run_group(
-                    engine, units, mitigation, registry, result, on_outcome,
-                    shots=shots, repetitions=repetitions, seed=seed,
-                    store=store, scenario_name=scenario.name,
-                )
-        # The caches remain readable after the pool shuts down.
-        result.note_engine_stats(shard.engine.key(), engine.stats())
-        if save_path is not None:
-            result.to_json(save_path)
-    return result
+        for shard in scenario.shards(devices):
+            pending_groups = [
+                (mitigation, [unit for unit in units if unit.key() not in result])
+                for mitigation, units in shard.groups
+            ]
+            if not any(units for _, units in pending_groups):
+                continue
+            device = get_device(shard.engine.device)
+            with tracer.span("suite.shard", engine=shard.engine.key()):
+                with ExecutionEngine(
+                    device,
+                    backend=backend if backend is not None else shard.engine.backend,
+                    max_workers=max_workers,
+                    optimization_level=shard.engine.optimization_level,
+                    placement=shard.engine.placement,
+                    store=store,
+                    trajectories=trajectories,
+                ) as engine:
+                    for mitigation, units in pending_groups:
+                        if not units:
+                            continue
+                        _run_group(
+                            engine, units, mitigation, registry, result, on_outcome,
+                            shots=shots, repetitions=repetitions, seed=seed,
+                            store=store, scenario_name=scenario.name,
+                        )
+            # The caches remain readable after the pool shuts down.
+            result.note_engine_stats(shard.engine.key(), engine.stats())
+            if save_path is not None:
+                result.to_json(save_path)
+        return result
 
 
 def _run_group(

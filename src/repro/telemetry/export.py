@@ -1,0 +1,153 @@
+"""Telemetry exporters: Prometheus text, JSON snapshots, Chrome trace JSON.
+
+Three consumers, three formats:
+
+* :func:`to_prometheus` renders a :meth:`MetricsRegistry.snapshot
+  <repro.telemetry.metrics.MetricsRegistry.snapshot>` in the Prometheus text
+  exposition format (``GET /metrics`` on ``repro serve``); counters get the
+  conventional ``_total`` suffixing left to the metric namer, histograms
+  expand into ``_bucket``/``_sum``/``_count`` rows with cumulative ``le``
+  labels.
+* :func:`spans_to_ndjson` renders spans one-JSON-object-per-line
+  (``GET /jobs/<id>/trace``), streamable and ``jq``-friendly.
+* :func:`spans_to_chrome_trace` renders spans as Chrome trace-event JSON —
+  complete (``"ph": "X"``) duration events with per-process/thread metadata
+  rows — loadable directly in Perfetto / ``chrome://tracing``
+  (``repro run --trace out.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Union
+
+from .tracing import Span
+
+__all__ = ["to_prometheus", "to_json", "spans_to_ndjson", "spans_to_chrome_trace"]
+
+_SpanLike = Union[Span, Mapping[str, Any]]
+
+
+def _span_dict(span: _SpanLike) -> Dict[str, Any]:
+    return span.as_dict() if isinstance(span, Span) else dict(span)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    value = float(value)
+    if value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _label_text(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{name}="{_escape_label(str(value))}"' for name, value in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(snapshot: Mapping[str, Mapping[str, Any]]) -> str:
+    """Render a metrics snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry["type"]
+        if entry.get("help"):
+            lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in entry["series"]:
+            labels = series.get("labels", {})
+            if kind in ("counter", "gauge"):
+                lines.append(f"{name}{_label_text(labels)} {_format_value(series['value'])}")
+                continue
+            # Histogram: cumulative buckets, then +Inf == total observation count.
+            cumulative = 0
+            for bound, count in zip(series["buckets"], series["counts"]):
+                cumulative += count
+                le = 'le="' + _format_value(float(bound)) + '"'
+                lines.append(f"{name}_bucket{_label_text(labels, le)} {cumulative}")
+            inf = 'le="+Inf"'
+            lines.append(f"{name}_bucket{_label_text(labels, inf)} {series['count']}")
+            lines.append(f"{name}_sum{_label_text(labels)} {_format_value(series['sum'])}")
+            lines.append(f"{name}_count{_label_text(labels)} {series['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(snapshot: Mapping[str, Mapping[str, Any]], indent: int = 1) -> str:
+    """A metrics snapshot as pretty-printed JSON (debug dumps, ``--save``)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def spans_to_ndjson(spans: Iterable[_SpanLike]) -> str:
+    """Spans as newline-delimited JSON, one object per line, in input order."""
+    return "".join(
+        json.dumps(_span_dict(span), sort_keys=True) + "\n" for span in spans
+    )
+
+
+def spans_to_chrome_trace(spans: Iterable[_SpanLike]) -> Dict[str, Any]:
+    """Spans as a Chrome trace-event document (open in Perfetto).
+
+    Every span becomes one complete ``"ph": "X"`` event; timestamps are
+    microseconds relative to the earliest span so the viewer opens at t=0.
+    The string ``process`` / ``thread`` coordinates are mapped to stable
+    integer pids/tids with ``process_name`` / ``thread_name`` metadata
+    events, so a merged multi-process sweep renders as labeled worker rows.
+    """
+    rows = [_span_dict(span) for span in spans]
+    events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    origin = min((row["start"] for row in rows), default=0.0)
+    for row in rows:
+        process = row.get("process") or "main"
+        thread = row.get("thread") or "main"
+        pid = pids.setdefault(process, len(pids) + 1)
+        tid_key = (process, thread)
+        tid = tids.setdefault(tid_key, len(tids) + 1)
+        args = dict(row.get("attributes", {}))
+        args["span_id"] = row["span_id"]
+        if row.get("parent_id"):
+            args["parent_id"] = row["parent_id"]
+        if row.get("cpu"):
+            args["cpu_seconds"] = row["cpu"]
+        events.append(
+            {
+                "name": row["name"],
+                "cat": row["name"].split(".", 1)[0],
+                "ph": "X",
+                "ts": (row["start"] - origin) * 1e6,
+                "dur": row["duration"] * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    for process, pid in pids.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process},
+            }
+        )
+    for (process, thread), tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pids[process],
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -1,0 +1,573 @@
+"""Process-wide metrics: typed instruments, labeled series, mergeable snapshots.
+
+A :class:`MetricsRegistry` holds named instruments — :class:`Counter`,
+:class:`Gauge` and :class:`Histogram` — each fanning out into labeled
+series.  The write path is *lock-free*: every series shards its state into
+per-thread cells (a thread registers its cell once, under a lock, then
+increments it without any synchronisation), so instrumenting a hot loop
+costs one ``threading.local`` attribute read plus a float add.  Reads —
+:meth:`MetricsRegistry.snapshot` — sum across cells under the registry lock.
+
+Snapshots are plain nested dicts (JSON- and pickle-safe), which is what
+makes cross-process aggregation work: a worker process snapshots its own
+registry before and after a lease, ships :func:`diff_snapshots` of the two
+inside the ``LeaseResult``, and the scheduler folds the delta into the
+parent registry via :meth:`MetricsRegistry.merge_snapshot` — counters and
+histograms sum, gauges take the maximum (the same rule
+:meth:`repro.suite.results.SuiteResult.note_engine_stats` established for
+engine cache stats).
+
+Occupancy-style values that are *views of live state* (cache entry counts,
+store row counts, jobs by status) register as callback gauges
+(:meth:`Gauge.set_callback`): the callable is held by weak reference and
+evaluated at snapshot time, so a component's gauges disappear with the
+component instead of pinning it in memory.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import weakref
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "diff_snapshots",
+    "instance_label",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (seconds — tuned for the latency
+#: range of transpile passes, store queries and benchmark executions).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: A series key: the label values in the instrument's declared label order.
+LabelKey = Tuple[str, ...]
+
+_instance_lock = threading.Lock()
+_instance_counts: Dict[str, int] = {}
+
+
+def instance_label(prefix: str) -> str:
+    """A process-unique ``instance`` label value (``"tc1"``, ``"tc2"``, ...).
+
+    Components that exist in multiples (caches, stores, engines) tag their
+    series with one of these so per-instance ``stats()`` views and the global
+    aggregate coexist on the same instruments.
+    """
+    with _instance_lock:
+        _instance_counts[prefix] = _instance_counts.get(prefix, 0) + 1
+        return f"{prefix}{_instance_counts[prefix]}"
+
+
+def _label_key(labelnames: Sequence[str], labels: Mapping[str, str]) -> LabelKey:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"expected labels {tuple(labelnames)}, got {tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _CounterCells:
+    """Thread-sharded float accumulator: the lock-free write fast path.
+
+    Each thread owns one single-element list cell; ``add`` touches only the
+    calling thread's cell, so no two threads ever write the same object.
+    Cells outlive their thread (a finished worker thread's increments stay
+    counted), and ``value`` sums every cell under the shared lock.
+    """
+
+    __slots__ = ("_cells", "_local", "_lock")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._cells: List[List[float]] = []
+        self._local = threading.local()
+        self._lock = lock
+
+    def add(self, amount: float) -> None:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = [0.0]
+            with self._lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+        cell[0] += amount
+
+    def value(self) -> float:
+        with self._lock:
+            return sum(cell[0] for cell in self._cells)
+
+    def reset(self) -> None:
+        with self._lock:
+            for cell in self._cells:
+                cell[0] = 0.0
+
+
+class _HistogramCells:
+    """Thread-sharded histogram state: per-thread bucket counts + sum/count."""
+
+    __slots__ = ("_cells", "_local", "_lock", "_bounds")
+
+    def __init__(self, lock: threading.Lock, bounds: Tuple[float, ...]) -> None:
+        self._cells: List[List[Any]] = []  # [bucket counts list, sum, count]
+        self._local = threading.local()
+        self._lock = lock
+        self._bounds = bounds
+
+    def observe(self, value: float) -> None:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = [[0] * (len(self._bounds) + 1), 0.0, 0]
+            with self._lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+        cell[0][bisect.bisect_left(self._bounds, value)] += 1
+        cell[1] += value
+        cell[2] += 1
+
+    def collect(self) -> Dict[str, Any]:
+        counts = [0] * (len(self._bounds) + 1)
+        total, count = 0.0, 0
+        with self._lock:
+            for cell in self._cells:
+                for index, bucket in enumerate(cell[0]):
+                    counts[index] += bucket
+                total += cell[1]
+                count += cell[2]
+        return {"buckets": list(self._bounds), "counts": counts, "sum": total, "count": count}
+
+    def reset(self) -> None:
+        with self._lock:
+            for cell in self._cells:
+                cell[0] = [0] * (len(self._bounds) + 1)
+                cell[1] = 0.0
+                cell[2] = 0
+
+
+class _Instrument:
+    """Shared machinery: name, help text, declared labels, series map."""
+
+    kind = ""
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:  # noqa: A002
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._series: Dict[LabelKey, Any] = {}
+
+    def _series_for(self, labels: Mapping[str, str], factory: Callable[[], Any]) -> Any:
+        key = _label_key(self.labelnames, labels)
+        series = self._series.get(key)
+        if series is None:
+            with self._lock:
+                series = self._series.setdefault(key, factory())
+        return series
+
+    def series_keys(self) -> List[LabelKey]:
+        with self._lock:
+            return list(self._series)
+
+    def _labels_dict(self, key: LabelKey) -> Dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+
+class Counter(_Instrument):
+    """A monotonically increasing value (events: hits, misses, executions)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (default 1) to the series selected by ``labels``."""
+        self._series_for(labels, lambda: _CounterCells(self._lock)).add(amount)
+
+    def labels(self, **labels: str) -> _CounterCells:
+        """Pre-bind one series for hot paths: ``.add(n)`` / ``.value()``
+        without per-call label validation."""
+        return self._series_for(labels, lambda: _CounterCells(self._lock))
+
+    def value(self, **labels: str) -> float:
+        """Current value of one series (0.0 for a never-written series)."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+        return series.value() if series is not None else 0.0
+
+    def collect(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": self._labels_dict(key), "value": series.value()}
+            for key, series in sorted(self._series.items())
+        ]
+
+    def reset(self) -> None:
+        for series in list(self._series.values()):
+            series.reset()
+
+
+class _GaugeSlot:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class Gauge(_Instrument):
+    """A point-in-time value (occupancy: cache entries, rows, queue depth).
+
+    Two write modes: :meth:`set` stores a value directly (a single attribute
+    store — atomic under the GIL, last write wins), and :meth:`set_callback`
+    registers a zero-argument callable evaluated lazily at collect time.
+    Callbacks are held weakly via ``weakref.WeakMethod`` when given a bound
+    method, so registering ``cache._entry_count`` does not keep ``cache``
+    alive; dead callbacks are pruned silently.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:  # noqa: A002
+        super().__init__(name, help, labelnames)
+        #: Weakly-held bound methods returning whole row sets at collect time.
+        self._collectors: List[Any] = []
+
+    def set(self, value: float, **labels: str) -> None:
+        self._series_for(labels, _GaugeSlot).value = float(value)
+
+    def add(self, amount: float, **labels: str) -> None:
+        """Adjust a gauge in place (callers serialise their own transitions)."""
+        slot = self._series_for(labels, _GaugeSlot)
+        slot.value += amount
+
+    def set_callback(self, callback: Callable[[], float], **labels: str) -> None:
+        """Evaluate ``callback`` at every collect for this series."""
+        try:
+            reference: Callable[[], Optional[Callable[[], float]]] = weakref.WeakMethod(callback)
+        except TypeError:  # plain function / lambda: hold it strongly
+            reference = lambda: callback  # noqa: E731
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._series[key] = reference
+
+    def add_collector(self, method: Callable[[], Mapping[LabelKey, float]]) -> None:
+        """Register a bound method yielding many series rows at collect time.
+
+        The method must return ``{label-values-tuple: value}`` with tuples in
+        this instrument's declared label order (e.g. the job queue returns one
+        row per status).  Held via ``weakref.WeakMethod`` like single-series
+        callbacks, so the owning component stays collectable.
+        """
+        reference = weakref.WeakMethod(method)
+        with self._lock:
+            self._collectors.append(reference)
+
+    def value(self, **labels: str) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+        resolved = self._resolve(series)
+        return 0.0 if resolved is None else resolved
+
+    @staticmethod
+    def _resolve(series: Any) -> Optional[float]:
+        if series is None:
+            return None
+        if isinstance(series, _GaugeSlot):
+            return series.value
+        target = series()
+        if target is None:
+            return None  # component was garbage-collected
+        try:
+            return float(target())
+        except Exception:
+            return None  # component torn down (e.g. closed store) — prune
+
+    def collect(self) -> List[Dict[str, Any]]:
+        values: Dict[LabelKey, float] = {}
+        dead = []
+        for key, series in sorted(self._series.items()):
+            value = self._resolve(series)
+            if value is None:
+                dead.append(key)
+                continue
+            values[key] = value
+        if dead:
+            with self._lock:
+                for key in dead:
+                    self._series.pop(key, None)
+        with self._lock:
+            collectors = list(self._collectors)
+        live = []
+        for reference in collectors:
+            method = reference()
+            if method is None:
+                continue
+            live.append(reference)
+            try:
+                rows = method()
+            except Exception:
+                continue  # component torn down mid-collect
+            for key, value in rows.items():
+                values[tuple(str(part) for part in key)] = float(value)
+        if len(live) != len(collectors):
+            with self._lock:
+                self._collectors = [ref for ref in self._collectors if ref() is not None]
+        return [
+            {"labels": self._labels_dict(key), "value": values[key]}
+            for key in sorted(values)
+        ]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._series = {
+                key: series
+                for key, series in self._series.items()
+                if not isinstance(series, _GaugeSlot)
+            }
+
+
+class Histogram(_Instrument):
+    """A distribution (latencies): fixed buckets plus running sum and count."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,  # noqa: A002
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: str) -> None:
+        self._series_for(
+            labels, lambda: _HistogramCells(self._lock, self.buckets)
+        ).observe(value)
+
+    def labels(self, **labels: str) -> _HistogramCells:
+        """Pre-bind one series for hot paths: ``.observe(v)`` directly."""
+        return self._series_for(labels, lambda: _HistogramCells(self._lock, self.buckets))
+
+    def collect(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": self._labels_dict(key), **series.collect()}
+            for key, series in sorted(self._series.items())
+        ]
+
+    def reset(self) -> None:
+        for series in list(self._series.values()):
+            series.reset()
+
+
+class MetricsRegistry:
+    """Named instruments, one process-wide instance by default.
+
+    Instrument constructors are idempotent get-or-creates: two subsystems
+    asking for the same counter name share the instrument (a kind or label
+    mismatch raises — one name, one meaning).  :meth:`snapshot` renders the
+    whole registry as plain data; :meth:`merge_snapshot` folds a (worker)
+    snapshot back in, keeping merged series separate from live cells so a
+    reset never loses remote contributions mid-merge.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+        #: Snapshot data merged in from other processes, by instrument name.
+        self._merged: Dict[str, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # instrument constructors
+    # ------------------------------------------------------------------
+    def _instrument(
+        self, cls, name: str, help: str, labelnames: Sequence[str], **kwargs: Any  # noqa: A002
+    ) -> Any:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind} with "
+                        f"labels {existing.labelnames}"
+                    )
+                return existing
+            instrument = cls(name, help, labelnames, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:  # noqa: A002
+        return self._instrument(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:  # noqa: A002
+        return self._instrument(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",  # noqa: A002
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._instrument(Histogram, name, help, labelnames, buckets=buckets)
+
+    def instruments(self) -> List[_Instrument]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    # ------------------------------------------------------------------
+    # snapshot / merge / reset
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """The whole registry as plain nested dicts (JSON/pickle-safe).
+
+        Shape: ``{name: {"type", "help", "series": [{"labels", ...}, ...]}}``
+        where counter/gauge series carry ``"value"`` and histogram series
+        carry ``"buckets"/"counts"/"sum"/"count"``.  Series merged in from
+        other processes are folded into the same rows.
+        """
+        data: Dict[str, Dict[str, Any]] = {}
+        for instrument in self.instruments():
+            data[instrument.name] = {
+                "type": instrument.kind,
+                "help": instrument.help,
+                "labelnames": list(instrument.labelnames),
+                "series": instrument.collect(),
+            }
+        with self._lock:
+            merged = {name: entry for name, entry in self._merged.items()}
+        for name, entry in merged.items():
+            local = data.setdefault(
+                name,
+                {
+                    "type": entry["type"],
+                    "help": entry.get("help", ""),
+                    "labelnames": list(entry.get("labelnames", [])),
+                    "series": [],
+                },
+            )
+            local["series"] = _merge_series(
+                local["type"], local["series"], entry["series"]
+            )
+        return data
+
+    def merge_snapshot(self, snapshot: Mapping[str, Mapping[str, Any]]) -> None:
+        """Fold a snapshot from another registry (typically another process).
+
+        Counters and histograms accumulate (every call adds), gauges keep
+        the maximum — matching the engine-stats merge rule, where occupancy
+        gauges from distinct caches cannot meaningfully sum.
+        """
+        with self._lock:
+            for name, entry in snapshot.items():
+                mine = self._merged.get(name)
+                if mine is None:
+                    self._merged[name] = {
+                        "type": entry["type"],
+                        "help": entry.get("help", ""),
+                        "labelnames": list(entry.get("labelnames", [])),
+                        "series": [dict(row) for row in entry["series"]],
+                    }
+                    continue
+                mine["series"] = _merge_series(
+                    entry["type"], mine["series"], entry["series"]
+                )
+
+    def reset(self) -> None:
+        """Zero every local series and drop merged remote data (tests)."""
+        for instrument in self.instruments():
+            instrument.reset()
+        with self._lock:
+            self._merged.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricsRegistry(instruments={len(self._instruments)})"
+
+
+def _merge_series(
+    kind: str,
+    ours: Iterable[Mapping[str, Any]],
+    theirs: Iterable[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Merge two collected-series lists under the kind's accumulation rule."""
+    by_labels: Dict[Tuple[Tuple[str, str], ...], Dict[str, Any]] = {}
+    for row in ours:
+        by_labels[tuple(sorted(row["labels"].items()))] = dict(row)
+    for row in theirs:
+        key = tuple(sorted(row["labels"].items()))
+        mine = by_labels.get(key)
+        if mine is None:
+            by_labels[key] = dict(row)
+            continue
+        if kind == "counter":
+            mine["value"] = mine["value"] + row["value"]
+        elif kind == "gauge":
+            mine["value"] = max(mine["value"], row["value"])
+        else:  # histogram: pointwise bucket sums
+            mine["counts"] = [a + b for a, b in zip(mine["counts"], row["counts"])]
+            mine["sum"] = mine["sum"] + row["sum"]
+            mine["count"] = mine["count"] + row["count"]
+    return [by_labels[key] for key in sorted(by_labels)]
+
+
+def diff_snapshots(
+    after: Mapping[str, Mapping[str, Any]],
+    before: Mapping[str, Mapping[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """The telemetry delta between two snapshots of one registry.
+
+    Counters and histogram counts subtract (events that happened between the
+    snapshots); gauges keep their ``after`` value (a gauge *is* its latest
+    reading).  Series absent from ``before`` pass through unchanged.  This is
+    what a worker ships per lease, so a long-lived worker process reports
+    only the lease's own traffic however many leases preceded it.
+    """
+    delta: Dict[str, Dict[str, Any]] = {}
+    for name, entry in after.items():
+        previous = before.get(name)
+        old_rows: Dict[Tuple[Tuple[str, str], ...], Mapping[str, Any]] = {}
+        if previous is not None:
+            for row in previous["series"]:
+                old_rows[tuple(sorted(row["labels"].items()))] = row
+        series: List[Dict[str, Any]] = []
+        for row in entry["series"]:
+            row = dict(row)
+            old = old_rows.get(tuple(sorted(row["labels"].items())))
+            if old is not None and entry["type"] == "counter":
+                row["value"] = row["value"] - old["value"]
+            elif old is not None and entry["type"] == "histogram":
+                row["counts"] = [a - b for a, b in zip(row["counts"], old["counts"])]
+                row["sum"] = row["sum"] - old["sum"]
+                row["count"] = row["count"] - old["count"]
+            if entry["type"] == "counter" and row["value"] == 0:
+                continue
+            if entry["type"] == "histogram" and row["count"] == 0:
+                continue
+            series.append(row)
+        if series:
+            delta[name] = {
+                "type": entry["type"],
+                "help": entry.get("help", ""),
+                "labelnames": list(entry.get("labelnames", [])),
+                "series": series,
+            }
+    return delta
+
+
+#: The process-wide default registry every subsystem instruments into.
+_DEFAULT = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry` (what ``GET /metrics`` serves)."""
+    return _DEFAULT

@@ -6,7 +6,9 @@ over a circuit, threading one shared
 :class:`~repro.transpiler.passes.PropertySet` through the whole pipeline.
 Every run records one :class:`PassRecord` per pass (wall-clock time plus
 gate-count before/after) into ``property_set["pass_records"]`` and onto
-:attr:`PassManager.last_records`.
+:attr:`PassManager.last_records`; the same timing also feeds the telemetry
+layer — a completed ``transpiler.pass`` span and the
+``repro_transpiler_pass_seconds`` latency histogram.
 
 The :attr:`PassManager.fingerprint` is a stable hash of the pipeline's pass
 names and configurations; the execution layer's
@@ -23,6 +25,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..circuits import Circuit
 from ..exceptions import TranspilerError
+from ..telemetry import get_metrics, get_tracer
 from .passes import BasePass, PropertySet
 
 __all__ = ["PassRecord", "PassManager"]
@@ -30,6 +33,12 @@ __all__ = ["PassRecord", "PassManager"]
 #: Version salt for pipeline fingerprints; bump when pass semantics change
 #: in a way that should invalidate previously cached compilations.
 _FINGERPRINT_VERSION = "repro-pipeline-v1"
+
+_PASS_SECONDS = get_metrics().histogram(
+    "repro_transpiler_pass_seconds",
+    "Wall-clock latency of individual transpiler passes.",
+    ("pass_name",),
+)
 
 
 @dataclass(frozen=True)
@@ -141,6 +150,7 @@ class PassManager:
                 recorded plus ``"pass_records"``.
         """
         properties = property_set if property_set is not None else PropertySet()
+        tracer = get_tracer()
         records: List[PassRecord] = []
         current = circuit
         for pass_ in self._passes:
@@ -154,14 +164,25 @@ class PassManager:
                 raise TranspilerError(
                     f"analysis pass {pass_.name!r} must not replace the circuit"
                 )
+            gates_after = result.num_gates()
             records.append(
                 PassRecord(
                     name=pass_.name,
                     seconds=elapsed,
                     gates_before=gates_before,
-                    gates_after=result.num_gates(),
+                    gates_after=gates_after,
                     analysis=pass_.is_analysis,
                 )
+            )
+            # One timing, two consumers: the PassRecord above and the
+            # telemetry layer (a completed span + latency histogram series).
+            _PASS_SECONDS.observe(elapsed, pass_name=pass_.name)
+            tracer.emit(
+                "transpiler.pass",
+                elapsed,
+                pass_name=pass_.name,
+                gates_before=gates_before,
+                gates_after=gates_after,
             )
             current = result
         record_tuple = tuple(records)

@@ -1,0 +1,114 @@
+"""Service telemetry surfaces: /metrics, /jobs/<id>/trace, /stats metadata."""
+
+import json
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import BenchmarkService
+from repro.service.http import STATS_SCHEMA
+from repro.service.jobs import JobQueue
+from repro.suite import Scenario, Sweep
+from repro.suite.results import SuiteResult
+from repro.telemetry import configure_tracing, get_tracer
+
+SCENARIO = Scenario(
+    name="svc-telemetry",
+    sweeps=(Sweep.of("ghz", num_qubits=(2,)),),
+    devices=("IonQ-11Q",),
+)
+
+#: One Prometheus sample line: name + optional {labels} + space + number.
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? "
+    r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|NaN)$"
+)
+
+
+def _instant_runner(scenario, **kwargs):
+    with get_tracer().span("engine.run", benchmark="stub"):
+        pass
+    return SuiteResult(scenario=scenario.name)
+
+
+@pytest.fixture
+def traced():
+    tracer = get_tracer()
+    previous = (tracer.enabled, tracer.id_prefix)
+    configure_tracing(enabled=True, seed=11)
+    yield tracer
+    tracer.clear()
+    tracer.enabled, tracer.id_prefix = previous
+
+
+@pytest.fixture
+def service(traced):
+    queue = JobQueue(workers=1, runner=_instant_runner)
+    with BenchmarkService(queue=queue) as svc:
+        yield svc
+
+
+def _get(service, path):
+    with urllib.request.urlopen(service.url + path) as response:
+        return response.status, response.read().decode()
+
+
+class TestMetricsEndpoint:
+    def test_metrics_is_valid_prometheus_text(self, service):
+        status, text = _get(service, "/metrics")
+        assert status == 200
+        lines = [line for line in text.splitlines() if line]
+        assert lines, "empty exposition"
+        for line in lines:
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) ", line), line
+            else:
+                assert _SAMPLE.match(line), line
+
+    def test_metrics_exposes_job_and_request_counters(self, service):
+        job_id = service.queue.submit(SCENARIO)
+        service.queue.result(job_id, timeout=30)
+        _get(service, "/healthz")
+        _, text = _get(service, "/metrics")
+        assert "repro_service_jobs{" in text
+        assert "repro_http_requests_total{" in text
+        assert 'route="/healthz"' in text
+
+
+class TestTraceEndpoint:
+    def test_job_trace_is_ndjson_spans(self, service):
+        job_id = service.queue.submit(SCENARIO)
+        service.queue.result(job_id, timeout=30)
+        status, body = _get(service, f"/jobs/{job_id}/trace")
+        assert status == 200
+        spans = [json.loads(line) for line in body.splitlines()]
+        names = {span["name"] for span in spans}
+        assert "job.run" in names
+        assert "engine.run" in names  # children share the job's trace
+        assert len({span["trace_id"] for span in spans}) == 1
+
+    def test_status_snapshot_carries_the_trace_id(self, service):
+        job_id = service.queue.submit(SCENARIO)
+        service.queue.result(job_id, timeout=30)
+        status = service.queue.status(job_id)
+        assert status["trace_id"]
+
+    def test_unknown_job_is_a_404(self, service):
+        try:
+            _get(service, "/jobs/job-999/trace")
+        except urllib.error.HTTPError as error:
+            assert error.code == 404
+        else:
+            pytest.fail("expected a 404")
+
+
+class TestStatsMetadata:
+    def test_stats_reports_schema_version_and_uptime(self, service):
+        _, body = _get(service, "/stats")
+        stats = json.loads(body)
+        assert stats["schema"] == STATS_SCHEMA
+        assert isinstance(stats["version"], str) and stats["version"]
+        assert stats["uptime_seconds"] >= 0
+        assert isinstance(stats["queue"], dict)

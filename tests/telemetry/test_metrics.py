@@ -1,0 +1,178 @@
+"""Unit tests for the metrics half of the telemetry subsystem."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import diff_snapshots, get_metrics, instance_label
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", "Events.")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == pytest.approx(3.5)
+
+    def test_labeled_series_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("lookups_total", "Lookups.", ("result",))
+        hits = counter.labels(result="hit")
+        misses = counter.labels(result="miss")
+        hits.add(3.0)
+        misses.add(1.0)
+        assert hits.value() == 3.0
+        assert misses.value() == 1.0
+
+    def test_idempotent_registration_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "C.")
+        second = registry.counter("c_total", "C.")
+        assert first is second
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "X.")
+        with pytest.raises(Exception):
+            registry.gauge("x_total", "X.")
+
+    def test_threaded_increments_are_lossless(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hot_total", "Hot path.")
+        series = counter.labels()
+
+        def hammer():
+            for _ in range(10_000):
+                series.add(1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 40_000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "Depth.")
+        gauge.set(5.0)
+        gauge.add(2.0)
+        assert gauge.value() == 7.0
+
+    def test_callback_tracks_live_object(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("entries", "Entries.", ("instance",))
+        items = ["a", "b"]
+        gauge.set_callback(items.__len__, instance="i1")
+        rows = {tuple(sorted(r["labels"].items())): r["value"] for r in gauge.collect()}
+        assert rows[(("instance", "i1"),)] == 2
+        items.append("c")
+        rows = {tuple(sorted(r["labels"].items())): r["value"] for r in gauge.collect()}
+        assert rows[(("instance", "i1"),)] == 3
+
+    def test_collector_yields_multiple_series(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("occupancy", "Occupancy.", ("instance", "kind"))
+
+        class Holder:
+            def rows(self):
+                return {("h1", "families"): 4, ("h1", "instances"): 9}
+
+        holder = Holder()
+        gauge.add_collector(holder.rows)
+        rows = {tuple(r["labels"].values()): r["value"] for r in gauge.collect()}
+        assert rows[("h1", "families")] == 4
+        assert rows[("h1", "instances")] == 9
+
+    def test_dead_callback_is_pruned_not_raised(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("entries", "Entries.", ("instance",))
+
+        class Transient:
+            def size(self):
+                return 1
+
+        obj = Transient()
+        gauge.set_callback(obj.size, instance="gone")
+        del obj
+        assert all(row["labels"].get("instance") != "gone" for row in gauge.collect())
+
+
+class TestHistogram:
+    def test_observe_buckets_and_sum(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds", "Latency.", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        (row,) = histogram.collect()
+        # per-bucket (non-cumulative) counts plus one overflow bucket
+        assert row["counts"] == [1, 1, 1]
+        assert row["count"] == 3
+        assert row["sum"] == pytest.approx(5.55)
+
+    def test_labeled_handles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("op_seconds", "Ops.", ("op",), buckets=(1.0,))
+        histogram.labels(op="get").observe(0.2)
+        histogram.labels(op="put").observe(0.3)
+        rows = {row["labels"]["op"]: row for row in histogram.collect()}
+        assert rows["get"]["count"] == 1
+        assert rows["put"]["count"] == 1
+
+
+class TestSnapshotMergeDiff:
+    def _simple(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "C.").inc(2.0)
+        registry.gauge("g", "G.").set(5.0)
+        hist = registry.histogram("h_seconds", "H.", buckets=(1.0,))
+        hist.observe(0.5)
+        return registry
+
+    def test_snapshot_shape(self):
+        snap = self._simple().snapshot()
+        assert snap["c_total"]["type"] == "counter"
+        assert snap["g"]["type"] == "gauge"
+        assert snap["h_seconds"]["type"] == "histogram"
+        assert snap["c_total"]["series"][0]["value"] == 2.0
+
+    def test_merge_counter_sums_gauge_maxes_histogram_adds(self):
+        ours = self._simple()
+        theirs = self._simple().snapshot()
+        ours.merge_snapshot(theirs)
+        merged = ours.snapshot()
+        assert merged["c_total"]["series"][0]["value"] == 4.0
+        assert merged["g"]["series"][0]["value"] == 5.0  # max, not sum
+        assert merged["h_seconds"]["series"][0]["count"] == 2
+
+    def test_diff_reports_only_the_delta(self):
+        registry = self._simple()
+        before = registry.snapshot()
+        registry.counter("c_total", "C.").inc(3.0)
+        delta = diff_snapshots(registry.snapshot(), before)
+        assert delta["c_total"]["series"][0]["value"] == 3.0
+        # untouched histogram series vanish from the delta entirely
+        assert "h_seconds" not in delta
+
+    def test_diff_keeps_gauge_after_value(self):
+        registry = self._simple()
+        before = registry.snapshot()
+        registry.gauge("g", "G.").set(9.0)
+        delta = diff_snapshots(registry.snapshot(), before)
+        assert delta["g"]["series"][0]["value"] == 9.0
+
+
+class TestInstanceLabel:
+    def test_labels_are_unique_per_prefix(self):
+        a = instance_label("t")
+        b = instance_label("t")
+        assert a != b
+        assert a.startswith("t") and b.startswith("t")
+
+    def test_default_registry_is_process_wide(self):
+        assert get_metrics() is get_metrics()

@@ -1,0 +1,185 @@
+"""The seven bespoke ``stats()`` dicts are now registry views.
+
+Two invariants per component: the historical flat key set is unchanged
+(callers never break), and the same numbers are simultaneously visible in
+the process-wide metrics registry (so ``GET /metrics`` agrees with every
+``stats()`` call).
+"""
+
+import repro.benchmarks  # noqa: F401 - registers benchmark families
+from repro.circuits import Circuit
+from repro.devices import get_device
+from repro.execution.cache import TranspileCache
+from repro.execution.results import BenchmarkRun
+from repro.service.jobs import JobQueue
+from repro.store import ResultStore
+from repro.suite.registry import BenchmarkRegistry
+from repro.telemetry import get_metrics
+
+
+def _make_run():
+    return BenchmarkRun(
+        benchmark="ghz[3q]",
+        family="ghz",
+        device="IonQ-11Q",
+        scores=[0.9, 0.91],
+        features={"pc": 0.5},
+        typical={"num_qubits": 3},
+        compiled_two_qubit_gates=2,
+        compiled_depth=9,
+        swap_count=0,
+        shots=100,
+        backend="trajectory",
+        placement="noise_aware",
+        pipeline="abc123",
+        mitigation="",
+        seconds=0.5,
+    )
+
+
+def _series_value(snapshot, name, **labels):
+    for row in snapshot.get(name, {}).get("series", []):
+        if all(row["labels"].get(k) == v for k, v in labels.items()):
+            return row["value"]
+    return None
+
+
+def _ghz(n):
+    circuit = Circuit(n, n)
+    circuit.h(0)
+    for q in range(n - 1):
+        circuit.cx(q, q + 1)
+    return circuit
+
+
+class TestTranspileCacheParity:
+    def test_keys_and_registry_agree(self):
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        cache.get_or_transpile(_ghz(3), device)
+        cache.get_or_transpile(_ghz(3), device)
+        stats = cache.stats()
+        assert set(stats) == {"hits", "misses", "entries"}
+        assert stats == {"hits": 1, "misses": 1, "entries": 1}
+        snapshot = get_metrics().snapshot()
+        instance = cache._id
+        assert _series_value(
+            snapshot, "repro_transpile_cache_lookups_total",
+            instance=instance, result="hit",
+        ) == 1
+        assert _series_value(
+            snapshot, "repro_transpile_cache_lookups_total",
+            instance=instance, result="miss",
+        ) == 1
+        assert _series_value(
+            snapshot, "repro_transpile_cache_entries", instance=instance,
+        ) == 1
+
+    def test_clear_resets_stats_but_registry_counters_stay_monotonic(self):
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        cache.get_or_transpile(_ghz(3), device)
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+        # the registry series keeps the pre-clear traffic
+        assert _series_value(
+            get_metrics().snapshot(), "repro_transpile_cache_lookups_total",
+            instance=cache._id, result="miss",
+        ) == 1
+
+
+class TestResultStoreParity:
+    def test_keys_and_registry_agree(self):
+        with ResultStore() as store:
+            store.put_run("k1", _make_run())
+            store.get_run("k1")
+            store.get_run("absent")
+            stats = store.stats()
+            assert set(stats) == {"hits", "misses", "puts", "evictions", "rows"}
+            snapshot = get_metrics().snapshot()
+            instance = store._id
+            lookups = "repro_store_lookups_total"
+            assert _series_value(snapshot, lookups, instance=instance, result="hit") == 1
+            assert _series_value(snapshot, lookups, instance=instance, result="miss") == 1
+            assert _series_value(
+                snapshot, "repro_store_puts_total", instance=instance) == 1
+            assert _series_value(
+                snapshot, "repro_store_rows", instance=instance) == 1
+            # query latency histogram recorded the two gets
+            series = snapshot["repro_store_op_seconds"]["series"]
+            gets = [row for row in series
+                    if row["labels"].get("instance") == instance
+                    and row["labels"].get("op") == "get"]
+            assert gets and gets[0]["count"] == 2
+
+
+class TestRegistryParity:
+    def test_keys_and_gauge_rows_agree(self):
+        registry = BenchmarkRegistry()
+
+        @registry.register("parity-fam")
+        class _Fam:  # noqa: N801 - minimal stand-in
+            name = "parity-fam"
+
+        stats = registry.stats()
+        assert set(stats) == {"families", "instances"}
+        assert stats["families"] == 1
+        snapshot = get_metrics().snapshot()
+        assert _series_value(
+            snapshot, "repro_registry_entries",
+            instance=registry._id, kind="families",
+        ) == 1
+        assert _series_value(
+            snapshot, "repro_registry_entries",
+            instance=registry._id, kind="instances",
+        ) == 0
+
+
+class TestJobQueueParity:
+    def test_keys_and_gauge_rows_agree(self):
+        def instant_runner(scenario, **kwargs):
+            from repro.suite.results import SuiteResult
+
+            return SuiteResult(scenario=scenario.name)
+
+        from repro.suite import Scenario, Sweep
+
+        scenario = Scenario(
+            name="parity",
+            sweeps=(Sweep.of("ghz", num_qubits=(2,)),),
+            devices=("IonQ-11Q",),
+        )
+        with JobQueue(workers=1, runner=instant_runner) as queue:
+            job_id = queue.submit(scenario)
+            queue.result(job_id, timeout=30)
+            stats = queue.stats()
+            assert set(stats) == {
+                "jobs", "queued", "running", "done", "failed",
+                "cancelled", "retries", "workers",
+            }
+            assert stats["done"] == 1
+            snapshot = get_metrics().snapshot()
+            assert _series_value(
+                snapshot, "repro_service_jobs",
+                instance=queue._id, status="done",
+            ) == 1
+            # terminal duration observed under the terminal status
+            series = snapshot["repro_service_job_seconds"]["series"]
+            done = [row for row in series
+                    if row["labels"].get("instance") == queue._id
+                    and row["labels"].get("status") == "done"]
+            assert done and done[0]["count"] == 1
+
+
+class TestEngineParity:
+    def test_flat_key_set_is_unchanged(self):
+        from repro.execution import ExecutionEngine
+
+        engine = ExecutionEngine(get_device("IonQ-11Q"), trajectories=5)
+        stats = engine.stats()
+        assert set(stats) == {
+            "hits", "misses", "entries",
+            "calibration_hits", "calibration_misses", "calibration_entries",
+            "store_hits", "store_misses", "executions",
+        }
+        assert all(isinstance(value, int) for value in stats.values())
