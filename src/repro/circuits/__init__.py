@@ -22,6 +22,7 @@ from .columnar import (
     OP_NUM_PARAMS,
     OPCODE_TABLE_DIGEST,
     OPCODES,
+    PackedBuilder,
     PackedCircuit,
     QUBIT_SLOTS,
     RESET_OP,
@@ -61,6 +62,7 @@ __all__ = [
     "gate_matrix",
     "is_known_gate",
     "standard_gate",
+    "PackedBuilder",
     "PackedCircuit",
     "pack_circuit",
     "OPCODES",

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple
 
 import numpy as np
@@ -65,6 +66,7 @@ __all__ = [
     "QUBIT_SLOTS",
     "OPCODE_TABLE_DIGEST",
     "PackedCircuit",
+    "PackedBuilder",
     "pack_circuit",
 ]
 
@@ -209,15 +211,68 @@ class PackedCircuit:
         yield "wide_offsets", self.wide_offsets
         yield "wide_qubits", self.wide_qubits
 
+    @staticmethod
+    @lru_cache(maxsize=16384)
+    def _gate_for(opcode: int, params: Tuple[float, ...]) -> Gate:
+        """Shared frozen :class:`Gate` per ``(opcode, params)`` (see unpack)."""
+        return Gate(OP_NAMES[opcode], params)
+
     def unpack(self) -> "Circuit":
-        """Rebuild an equal :class:`Circuit` (exact instruction round trip)."""
+        """Rebuild an equal :class:`Circuit` (exact instruction round trip).
+
+        Hot path of every packed-pipeline run (the final packed -> object
+        conversion), so instructions are constructed directly instead of
+        re-validating through ``Circuit.append``: the pack was lowered from a
+        valid circuit (or built by a :class:`PackedBuilder` trusted the same
+        way), so gate arities, qubit bounds and clbit bounds already hold.
+        Gate objects are shared via :func:`_cached_gate` — they are frozen,
+        and structurally equal gates are interchangeable everywhere.
+        """
         from .circuit import Circuit, Instruction
 
         circuit = Circuit(self.num_qubits, self.num_clbits, self.name)
-        for _row, opcode, qubits, params, clbit in self.iter_rows():
-            gate = Gate(OP_NAMES[opcode], params)
-            clbits = (clbit,) if clbit >= 0 else ()
-            circuit.append(Instruction(gate, qubits, clbits))
+        instructions = circuit._instructions
+        set_attr = object.__setattr__
+        new_instruction = Instruction.__new__
+        cached_gate = PackedCircuit._gate_for
+        opcodes = self.opcodes.tolist()
+        qubit_rows = self.qubits.tolist()
+        clbit_list = self.clbits.tolist()
+        offsets = self.param_offsets.tolist()
+        pool = self.params.tolist()
+        wide: Dict[int, Tuple[int, ...]] = {}
+        if self.wide_rows.size:
+            wide_offsets = self.wide_offsets.tolist()
+            wide_pool = self.wide_qubits.tolist()
+            for index, row in enumerate(self.wide_rows.tolist()):
+                wide[row] = tuple(wide_pool[wide_offsets[index] : wide_offsets[index + 1]])
+        for row, opcode in enumerate(opcodes):
+            slots = qubit_rows[row]
+            q0, q1, q2 = slots
+            if q2 >= 0:
+                qubits = (q0, q1, q2)
+            elif q1 >= 0:
+                qubits = (q0, q1)
+            elif q0 >= 0:
+                qubits = (q0,)
+            else:
+                qubits = wide.get(row, ())
+            instruction = new_instruction(Instruction)
+            set_attr(
+                instruction, "gate", cached_gate(opcode, tuple(pool[offsets[row] : offsets[row + 1]]))
+            )
+            set_attr(instruction, "qubits", qubits)
+            clbit = clbit_list[row]
+            set_attr(instruction, "clbits", (clbit,) if clbit >= 0 else ())
+            instructions.append(instruction)
+        circuit._num_measurements = int(np.count_nonzero(self.opcodes == MEASURE_OP))
+        circuit._num_resets = int(np.count_nonzero(self.opcodes == RESET_OP))
+        circuit._num_multi_qubit = int(
+            np.count_nonzero((self.qubits[:, 1] >= 0) & OP_IS_UNITARY[self.opcodes])
+        )
+        # The unpack is lossless, so this pack IS the circuit's pack: seed the
+        # cache so downstream consumers (fingerprints, features) never re-pack.
+        circuit._packed = self
         return circuit
 
 
@@ -269,3 +324,229 @@ def pack_circuit(circuit: "Circuit") -> PackedCircuit:
         wide_qubits=_frozen(np.array(wide_pool, dtype=np.int32)),
         name=circuit.name,
     )
+
+
+class PackedBuilder:
+    """Mutable companion to :class:`PackedCircuit`.
+
+    The builder lets packed consumers (vectorized transpiler passes, mainly)
+    filter, rewrite and append rows without round-tripping through Python
+    ``Instruction`` objects.  It keeps two stores:
+
+    * **base** — the column arrays of an existing pack (entered via
+      :meth:`from_packed`), edited wholesale by :meth:`keep` (boolean row
+      mask, with param-pool and wide-pool compaction) and
+      :meth:`set_first_params` (rewrite the first parameter of selected
+      rows, e.g. rotation merging);
+    * **tail** — rows appended one by one via :meth:`append` (opcode ids,
+      not gate objects), overflowing >``QUBIT_SLOTS``-operand rows into the
+      wide pool exactly like :func:`pack_circuit`.
+
+    :meth:`build` consolidates both stores into a frozen
+    :class:`PackedCircuit` whose buffers are **byte-identical** to packing
+    the equivalent instruction sequence from scratch — a property the
+    transpiler's golden-parity tests rely on, since circuit fingerprints
+    hash those buffers directly.
+    """
+
+    def __init__(self, num_qubits: int, num_clbits: int, name: str = "") -> None:
+        self.num_qubits = int(num_qubits)
+        self.num_clbits = int(num_clbits)
+        self.name = name
+        # base store (columns of an existing pack; None when building fresh)
+        self._base: PackedCircuit | None = None
+        self._base_params: np.ndarray | None = None  # mutable copy on rewrite
+        # tail store (python lists, append order)
+        self._opcodes: List[int] = []
+        self._qubits: List[Tuple[int, ...]] = []
+        self._clbits: List[int] = []
+        self._offsets: List[int] = [0]
+        self._params: List[float] = []
+        self._wide_rows: List[int] = []
+        self._wide_offsets: List[int] = [0]
+        self._wide_pool: List[int] = []
+
+    @classmethod
+    def from_packed(cls, packed: PackedCircuit) -> "PackedBuilder":
+        """Start from an existing pack (rows become the editable base)."""
+        builder = cls(packed.num_qubits, packed.num_clbits, packed.name)
+        builder._base = packed
+        return builder
+
+    def __len__(self) -> int:
+        base = 0 if self._base is None else len(self._base)
+        return base + len(self._opcodes)
+
+    # ------------------------------------------------------------------
+    # base-store edits (vectorized)
+    # ------------------------------------------------------------------
+    def keep(self, mask: np.ndarray) -> "PackedBuilder":
+        """Drop every base row where ``mask`` is False (chainable).
+
+        Compacts the parameter pool and the wide-operand pool so the kept
+        rows lay out exactly as a fresh pack of the surviving instruction
+        sequence would.  Only legal while no rows have been appended.
+        """
+        if self._base is None or self._opcodes:
+            raise ValueError("keep() requires a base pack and no appended rows")
+        base = self._base
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(base),):
+            raise ValueError(f"mask must have shape ({len(base)},), got {mask.shape}")
+        if mask.all():
+            return self
+        params = base.params if self._base_params is None else self._base_params
+        counts = np.diff(base.param_offsets)
+        new_offsets = np.zeros(int(mask.sum()) + 1, dtype=np.int64)
+        np.cumsum(counts[mask], out=new_offsets[1:])
+        new_params = params[np.repeat(mask, counts)]
+
+        wide_rows = base.wide_rows
+        wide_offsets = base.wide_offsets
+        wide_qubits = base.wide_qubits
+        if wide_rows.size:
+            wide_keep = mask[wide_rows]
+            new_row_of = np.cumsum(mask) - 1  # old row id -> new row id
+            wide_counts = np.diff(wide_offsets)
+            wide_rows = new_row_of[wide_rows[wide_keep]].astype(np.int64)
+            new_wide_offsets = np.zeros(wide_rows.size + 1, dtype=np.int64)
+            np.cumsum(wide_counts[wide_keep], out=new_wide_offsets[1:])
+            wide_offsets = new_wide_offsets
+            wide_qubits = wide_qubits[np.repeat(wide_keep, wide_counts)]
+
+        self._base = PackedCircuit(
+            num_qubits=base.num_qubits,
+            num_clbits=base.num_clbits,
+            opcodes=_frozen(base.opcodes[mask]),
+            qubits=_frozen(base.qubits[mask]),
+            clbits=_frozen(base.clbits[mask]),
+            param_offsets=_frozen(new_offsets),
+            params=_frozen(np.ascontiguousarray(new_params)),
+            wide_rows=_frozen(np.ascontiguousarray(wide_rows)),
+            wide_offsets=_frozen(np.ascontiguousarray(wide_offsets)),
+            wide_qubits=_frozen(np.ascontiguousarray(wide_qubits)),
+            name=base.name,
+        )
+        self._base_params = None
+        return self
+
+    def set_first_params(self, rows: np.ndarray, values: np.ndarray) -> "PackedBuilder":
+        """Rewrite the first parameter of the given base rows (chainable).
+
+        The rotation-merge primitive: each targeted row must already own at
+        least one parameter (its pool slot is overwritten in place).
+        """
+        if self._base is None:
+            raise ValueError("set_first_params() requires a base pack")
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return self
+        offsets = self._base.param_offsets
+        counts = offsets[rows + 1] - offsets[rows]
+        if counts.size and int(counts.min()) < 1:
+            raise ValueError("set_first_params() targets a parameter-less row")
+        if self._base_params is None:
+            self._base_params = self._base.params.copy()
+        self._base_params[offsets[rows]] = np.asarray(values, dtype=np.float64)
+        return self
+
+    # ------------------------------------------------------------------
+    # tail-store edits (append order)
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        opcode: int,
+        qubits: Tuple[int, ...],
+        params: Tuple[float, ...] = (),
+        clbit: int = -1,
+    ) -> "PackedBuilder":
+        """Append one row (opcode id + operands), mirroring :func:`pack_circuit`."""
+        arity = len(qubits)
+        row = len(self._opcodes)
+        self._opcodes.append(int(opcode))
+        if arity <= QUBIT_SLOTS:
+            self._qubits.append(tuple(qubits) + _PAD[arity])
+        else:
+            self._qubits.append(_PAD[0])
+            self._wide_rows.append(row)
+            self._wide_pool.extend(qubits)
+            self._wide_offsets.append(len(self._wide_pool))
+        self._clbits.append(int(clbit))
+        if params:
+            self._params.extend(params)
+        self._offsets.append(len(self._params))
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> PackedCircuit:
+        """Freeze the builder into an immutable :class:`PackedCircuit`."""
+        base = self._base
+        if base is not None and self._base_params is not None:
+            base = PackedCircuit(
+                num_qubits=base.num_qubits,
+                num_clbits=base.num_clbits,
+                opcodes=base.opcodes,
+                qubits=base.qubits,
+                clbits=base.clbits,
+                param_offsets=base.param_offsets,
+                params=_frozen(self._base_params),
+                wide_rows=base.wide_rows,
+                wide_offsets=base.wide_offsets,
+                wide_qubits=base.wide_qubits,
+                name=base.name,
+            )
+            self._base = base
+            self._base_params = None
+
+        m = len(self._opcodes)
+        tail = PackedCircuit(
+            num_qubits=self.num_qubits,
+            num_clbits=self.num_clbits,
+            opcodes=_frozen(np.array(self._opcodes, dtype=np.uint16)),
+            qubits=_frozen(np.array(self._qubits, dtype=np.int32).reshape(m, QUBIT_SLOTS)),
+            clbits=_frozen(np.array(self._clbits, dtype=np.int32)),
+            param_offsets=_frozen(np.array(self._offsets, dtype=np.int64)),
+            params=_frozen(np.array(self._params, dtype=np.float64)),
+            wide_rows=_frozen(np.array(self._wide_rows, dtype=np.int64)),
+            wide_offsets=_frozen(np.array(self._wide_offsets, dtype=np.int64)),
+            wide_qubits=_frozen(np.array(self._wide_pool, dtype=np.int32)),
+            name=self.name,
+        )
+        if base is None:
+            return tail
+        if m == 0:
+            return PackedCircuit(
+                num_qubits=self.num_qubits,
+                num_clbits=self.num_clbits,
+                opcodes=base.opcodes,
+                qubits=base.qubits,
+                clbits=base.clbits,
+                param_offsets=base.param_offsets,
+                params=base.params,
+                wide_rows=base.wide_rows,
+                wide_offsets=base.wide_offsets,
+                wide_qubits=base.wide_qubits,
+                name=self.name,
+            )
+        shift = len(base)
+        return PackedCircuit(
+            num_qubits=self.num_qubits,
+            num_clbits=self.num_clbits,
+            opcodes=_frozen(np.concatenate([base.opcodes, tail.opcodes])),
+            qubits=_frozen(np.concatenate([base.qubits, tail.qubits])),
+            clbits=_frozen(np.concatenate([base.clbits, tail.clbits])),
+            param_offsets=_frozen(
+                np.concatenate(
+                    [base.param_offsets, tail.param_offsets[1:] + base.params.size]
+                )
+            ),
+            params=_frozen(np.concatenate([base.params, tail.params])),
+            wide_rows=_frozen(np.concatenate([base.wide_rows, tail.wide_rows + shift])),
+            wide_offsets=_frozen(
+                np.concatenate(
+                    [base.wide_offsets, tail.wide_offsets[1:] + base.wide_qubits.size]
+                )
+            ),
+            wide_qubits=_frozen(np.concatenate([base.wide_qubits, tail.wide_qubits])),
+            name=self.name,
+        )

@@ -27,7 +27,7 @@ import struct
 import sys
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuits import Circuit
 from ..circuits.columnar import OPCODE_TABLE_DIGEST
@@ -205,6 +205,87 @@ class TranspileCache:
         )
         with self._lock:
             return self._entries.setdefault(key, entry)
+
+    def get_or_transpile_many(
+        self,
+        circuits: "Sequence[Circuit]",
+        device: Device,
+        optimization_level: int = 1,
+        placement: str = "noise_aware",
+        initial_layout: Optional[Placement] = None,
+        executor=None,
+    ) -> "List[CacheEntry]":
+        """Batch form of :meth:`get_or_transpile`: one compile per distinct circuit.
+
+        The pipeline is resolved once for the whole batch and every circuit
+        is fingerprinted exactly once (the fingerprint packs the circuit, so
+        the packed fast-path passes reuse that pack for free).  Cache lookup
+        happens under a single lock acquisition; intra-batch duplicates are
+        deduplicated *before* counting, so a batch of N copies of one new
+        circuit records one miss (and one hit if it was already cached), and
+        compiles at most once — unlike N racing :meth:`get_or_transpile`
+        calls, which each count and may each compile.
+
+        Args:
+            executor: Optional ``concurrent.futures`` executor; missing
+                circuits compile through ``executor.submit`` (the engine
+                passes its worker pool).  ``None`` compiles serially.
+
+        Returns:
+            Cache entries parallel to ``circuits``; duplicates share the
+            identical :class:`CacheEntry`.
+        """
+        pipeline = preset_pipeline(
+            device,
+            optimization_level=optimization_level,
+            placement=placement,
+            initial_layout=initial_layout,
+        )
+        keys = [
+            (circuit_fingerprint(circuit), device.name, pipeline.fingerprint)
+            for circuit in circuits
+        ]
+        resolved: Dict[Tuple[str, str, str], CacheEntry] = {}
+        missing: Dict[Tuple[str, str, str], Circuit] = {}
+        with self._lock:
+            for key, circuit in zip(keys, circuits):
+                if key in resolved or key in missing:
+                    continue
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._hit_series.add(1.0)
+                    resolved[key] = entry
+                else:
+                    self._miss_series.add(1.0)
+                    missing[key] = circuit
+        # Compile outside the lock (see get_or_transpile); each distinct
+        # missing circuit compiles exactly once, optionally fanned out over
+        # the caller's worker pool.
+        def _compile(circuit: Circuit) -> CacheEntry:
+            transpiled = transpile(circuit, device, pass_manager=pipeline)
+            compact, physical = transpiled.compact()
+            return CacheEntry(
+                transpiled=transpiled,
+                compact=compact,
+                physical=tuple(physical),
+                two_qubit_gates=transpiled.two_qubit_gate_count(),
+                depth=transpiled.depth(),
+                pipeline=pipeline.fingerprint,
+            )
+
+        if missing:
+            if executor is not None:
+                futures = {
+                    key: executor.submit(_compile, circuit)
+                    for key, circuit in missing.items()
+                }
+                compiled = {key: future.result() for key, future in futures.items()}
+            else:
+                compiled = {key: _compile(circuit) for key, circuit in missing.items()}
+            with self._lock:
+                for key, entry in compiled.items():
+                    resolved[key] = self._entries.setdefault(key, entry)
+        return [resolved[key] for key in keys]
 
     def clear(self) -> None:
         with self._lock:

@@ -38,7 +38,7 @@ from ..mitigation.calibration import calibration_seed
 from ..simulation import Counts, QuasiDistribution
 from ..telemetry import get_metrics, get_tracer, instance_label
 from .backends import Backend, backend_metadata, circuit_seed, resolve_backend
-from .cache import CacheEntry, TranspileCache, circuit_fingerprint
+from .cache import CacheEntry, TranspileCache
 from .job import Job
 from .results import BenchmarkRun
 
@@ -227,25 +227,21 @@ class ExecutionEngine:
     ) -> List[CacheEntry]:
         """Compile distinct circuits concurrently on the worker pool.
 
-        Deduplicates by structural fingerprint first so the pool never races
-        two compilations of the same circuit (which would double-count cache
-        misses); results come back in submission order.
+        Delegates to the cache's batch API
+        (:meth:`~repro.execution.cache.TranspileCache.get_or_transpile_many`):
+        the preset pipeline is resolved once for the whole batch, every
+        circuit is fingerprinted (and packed) exactly once, and cold
+        compilations of *distinct* circuits fan out over the worker pool —
+        the pool never races two compilations of the same circuit, which
+        would double-count cache misses.
         """
-        pool = self._pool()
-        futures: Dict[str, "Future[CacheEntry]"] = {}
-        order: List[str] = []
-        for circuit in circuits:
-            fingerprint = circuit_fingerprint(circuit)
-            order.append(fingerprint)
-            if fingerprint not in futures:
-                futures[fingerprint] = pool.submit(
-                    self.cache.get_or_transpile,
-                    circuit,
-                    self.device,
-                    self.optimization_level,
-                    placement,
-                )
-        return [futures[fingerprint].result() for fingerprint in order]
+        return self.cache.get_or_transpile_many(
+            circuits,
+            self.device,
+            self.optimization_level,
+            placement,
+            executor=self._pool(),
+        )
 
     # ------------------------------------------------------------------
     # execution

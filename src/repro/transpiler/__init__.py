@@ -57,7 +57,7 @@ from .presets import (
     unregister_device_preset,
 )
 from .routing import RoutedCircuit, route_circuit
-from .transpile import TranspiledCircuit, transpile
+from .transpile import TranspiledCircuit, transpile, transpile_many
 
 __all__ = [
     "SUPPORTED_BASES",
@@ -76,6 +76,7 @@ __all__ = [
     "route_circuit",
     "TranspiledCircuit",
     "transpile",
+    "transpile_many",
     # pass-manager architecture
     "BasePass",
     "AnalysisPass",

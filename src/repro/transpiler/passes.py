@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..circuits import Circuit, Instruction
+from ..circuits.columnar import PackedCircuit
 from ..devices import Device
 from ..exceptions import TranspilerError
 from .decomposition import basis_for_gates, decompose_to_canonical, translate_to_basis
@@ -71,9 +72,17 @@ class BasePass:
 
     Attributes:
         is_analysis: True for analysis passes (must not modify the circuit).
+        supports_packed: True when the pass implements :meth:`run_packed`
+            over the columnar IR.  The pass manager then feeds it a
+            :class:`~repro.circuits.columnar.PackedCircuit` instead of
+            unpacking to ``Instruction`` objects — see
+            ``docs/transpiler.md`` ("packed fast path") for the protocol
+            and fallback rules.  A packed implementation must reproduce
+            :meth:`run` gate for gate (the transpile goldens assert it).
     """
 
     is_analysis = False
+    supports_packed = False
 
     @property
     def name(self) -> str:
@@ -100,6 +109,19 @@ class BasePass:
     def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
         """Execute the pass; return the (possibly rewritten) circuit."""
         raise NotImplementedError
+
+    def run_packed(
+        self, packed: PackedCircuit, property_set: PropertySet
+    ) -> PackedCircuit:
+        """Execute the pass over the columnar IR (``supports_packed`` only).
+
+        Must be behaviourally identical to :meth:`run`: the returned pack
+        unpacks to the exact circuit :meth:`run` would have produced.
+        """
+        raise TranspilerError(
+            f"pass {self.name!r} has no packed implementation "
+            "(supports_packed is False)"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}{self.signature()!r}"
@@ -135,29 +157,65 @@ class DecomposeToCanonical(TransformationPass):
 class DropNegligible(TransformationPass):
     """Remove identity gates and numerically-zero rotations."""
 
+    supports_packed = True
+
     def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
         return drop_negligible(circuit)
+
+    def run_packed(
+        self, packed: PackedCircuit, property_set: PropertySet
+    ) -> PackedCircuit:
+        from .packed import drop_negligible_packed
+
+        return drop_negligible_packed(packed)
 
 
 class MergeRotations(TransformationPass):
     """Combine adjacent same-axis rotations on the same qubits."""
 
+    supports_packed = True
+
     def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
         return merge_rotations(circuit)
+
+    def run_packed(
+        self, packed: PackedCircuit, property_set: PropertySet
+    ) -> PackedCircuit:
+        from .packed import merge_rotations_packed
+
+        return merge_rotations_packed(packed)
 
 
 class CancelAdjacentInverses(TransformationPass):
     """Remove back-to-back mutually-inverse gate pairs (to a fixed point)."""
 
+    supports_packed = True
+
     def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
         return cancel_adjacent_inverses(circuit)
+
+    def run_packed(
+        self, packed: PackedCircuit, property_set: PropertySet
+    ) -> PackedCircuit:
+        from .packed import cancel_adjacent_inverses_packed
+
+        return cancel_adjacent_inverses_packed(packed)
 
 
 class FuseSingleQubitRuns(TransformationPass):
     """Collapse maximal single-qubit runs into one ``u`` gate."""
 
+    supports_packed = True
+
     def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
         return fuse_single_qubit_runs(circuit)
+
+    def run_packed(
+        self, packed: PackedCircuit, property_set: PropertySet
+    ) -> PackedCircuit:
+        from .packed import fuse_single_qubit_runs_packed
+
+        return fuse_single_qubit_runs_packed(packed)
 
 
 #: Single-qubit gates diagonal in Z — they commute with a CX control and
@@ -184,6 +242,15 @@ class CommutingTwoQubitCancellation(TransformationPass):
     fixed point.  Not part of preset levels 0–2 (which reproduce the
     historical pipeline exactly); level 3 enables it.
     """
+
+    supports_packed = True
+
+    def run_packed(
+        self, packed: PackedCircuit, property_set: PropertySet
+    ) -> PackedCircuit:
+        from .packed import commuting_cancellation_packed
+
+        return commuting_cancellation_packed(packed)
 
     def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
         instructions = list(circuit)
@@ -370,13 +437,26 @@ class DepthAnalysis(AnalysisPass):
       numerator of the paper's Critical-Depth feature).
     """
 
+    supports_packed = True
+
     def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
         # One packed-profile pass supplies every metric (bit-identical to the
         # former two_qubit_critical_path / depth / counter queries, asserted
         # by the transpile goldens).
-        from ..features.features import circuit_profile
+        self._record(circuit.packed(), property_set)
+        return circuit
 
-        profile = circuit_profile(circuit)
+    def run_packed(
+        self, packed: PackedCircuit, property_set: PropertySet
+    ) -> PackedCircuit:
+        self._record(packed, property_set)
+        return packed
+
+    @staticmethod
+    def _record(packed: PackedCircuit, property_set: PropertySet) -> None:
+        from ..features.features import packed_profile
+
+        profile = packed_profile(packed)
         metrics = property_set.setdefault("metrics", {})
         metrics.update(
             {
@@ -387,7 +467,6 @@ class DepthAnalysis(AnalysisPass):
                 "critical_two_qubit_gates": profile.critical_two_qubit,
             }
         )
-        return circuit
 
 
 class InteractionAnalysis(AnalysisPass):
@@ -402,10 +481,23 @@ class InteractionAnalysis(AnalysisPass):
       numerator).
     """
 
-    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
-        from ..features.features import circuit_profile
+    supports_packed = True
 
-        profile = circuit_profile(circuit)
+    def run(self, circuit: Circuit, property_set: PropertySet) -> Circuit:
+        self._record(circuit.packed(), property_set)
+        return circuit
+
+    def run_packed(
+        self, packed: PackedCircuit, property_set: PropertySet
+    ) -> PackedCircuit:
+        self._record(packed, property_set)
+        return packed
+
+    @staticmethod
+    def _record(packed: PackedCircuit, property_set: PropertySet) -> None:
+        from ..features.features import packed_profile
+
+        profile = packed_profile(packed)
         n = profile.num_qubits
         possible = n * (n - 1) // 2
         metrics = property_set.setdefault("metrics", {})
@@ -418,4 +510,3 @@ class InteractionAnalysis(AnalysisPass):
                 "qubit_touches": profile.qubit_touches,
             }
         )
-        return circuit

@@ -8,12 +8,28 @@ Every run records one :class:`PassRecord` per pass (wall-clock time plus
 gate-count before/after) into ``property_set["pass_records"]`` and onto
 :attr:`PassManager.last_records`; the same timing also feeds the telemetry
 layer — a completed ``transpiler.pass`` span and the
-``repro_transpiler_pass_seconds`` latency histogram.
+``repro_transpiler_pass_seconds`` latency histogram, both labelled with the
+execution path.
+
+**Packed negotiation.**  The run keeps the circuit in whichever form the
+next pass can consume: passes with
+:attr:`~repro.transpiler.passes.BasePass.supports_packed` receive the
+columnar :class:`~repro.circuits.columnar.PackedCircuit` (vectorized
+implementations, see :mod:`~repro.transpiler.packed`), everything else the
+Python object form.  Conversions happen only at form boundaries, so a run
+of packed-capable passes round-trips through ``Instruction`` objects at
+most once; each :class:`PassRecord` notes the path taken (``"packed"`` /
+``"object"``) and how many pack/unpack conversions its boundary cost.
+Setting ``use_packed=False`` (constructor or attribute) forces the
+historical object walk — output is identical either way, which the golden
+transpile tests assert.
 
 The :attr:`PassManager.fingerprint` is a stable hash of the pipeline's pass
 names and configurations; the execution layer's
 :class:`~repro.execution.cache.TranspileCache` keys compiled circuits on it,
 so two pipelines that compile differently can never collide in the cache.
+The execution path is deliberately **not** part of the fingerprint: packed
+and object runs produce gate-for-gate identical circuits.
 """
 
 from __future__ import annotations
@@ -23,7 +39,10 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..circuits import Circuit
+from ..circuits.columnar import BARRIER_OP, PackedCircuit
 from ..exceptions import TranspilerError
 from ..telemetry import get_metrics, get_tracer
 from .passes import BasePass, PropertySet
@@ -37,7 +56,7 @@ _FINGERPRINT_VERSION = "repro-pipeline-v1"
 _PASS_SECONDS = get_metrics().histogram(
     "repro_transpiler_pass_seconds",
     "Wall-clock latency of individual transpiler passes.",
-    ("pass_name",),
+    ("pass_name", "path"),
 )
 
 
@@ -51,6 +70,11 @@ class PassRecord:
         gates_before: Operation count (barriers excluded) entering the pass.
         gates_after: Operation count leaving the pass.
         analysis: True when the pass was an analysis pass.
+        path: Which implementation ran — ``"packed"`` (columnar IR) or
+            ``"object"`` (Instruction walk).
+        conversions: Pack/unpack conversions performed at this pass's
+            boundary to provide the form it consumes (0 when the circuit
+            already was in the right form).
     """
 
     name: str
@@ -58,6 +82,8 @@ class PassRecord:
     gates_before: int
     gates_after: int
     analysis: bool = False
+    path: str = "object"
+    conversions: int = 0
 
     @property
     def gate_delta(self) -> int:
@@ -66,10 +92,21 @@ class PassRecord:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         kind = "analysis" if self.analysis else "transform"
-        return (
-            f"{self.name:<36s} {kind:<9s} {self.seconds * 1e3:8.3f} ms  "
+        text = (
+            f"{self.name:<36s} {kind:<9s} {self.path:<6s} "
+            f"{self.seconds * 1e3:8.3f} ms  "
             f"{self.gates_before:>5d} -> {self.gates_after:<5d} gates"
         )
+        if self.conversions:
+            text += f"  [{self.conversions} conv]"
+        return text
+
+
+def _gate_count(form: "Circuit | PackedCircuit") -> int:
+    """Operation count excluding barriers, for either circuit form."""
+    if isinstance(form, PackedCircuit):
+        return int(np.count_nonzero(form.opcodes != BARRIER_OP))
+    return form.num_gates()
 
 
 class PassManager:
@@ -78,6 +115,10 @@ class PassManager:
     Args:
         passes: The pipeline, in execution order.  May be empty and extended
             with :meth:`append`.
+        use_packed: When True (default), passes advertising
+            ``supports_packed`` run over the columnar IR; False forces the
+            object walk for every pass (used by parity tests and the
+            packed-vs-object benchmark — compiled output is identical).
 
     A single :class:`PassManager` may be reused across circuits; each
     :meth:`run` gets a fresh property set unless one is passed in.
@@ -86,11 +127,15 @@ class PassManager:
     ``property_set["pass_records"]`` instead).
     """
 
-    def __init__(self, passes: Iterable[BasePass] = ()) -> None:
+    def __init__(self, passes: Iterable[BasePass] = (), use_packed: bool = True) -> None:
         self._passes: List[BasePass] = []
         for pass_ in passes:
             self.append(pass_)
+        self.use_packed = bool(use_packed)
         self.last_records: Tuple[PassRecord, ...] = ()
+        #: Total pack/unpack conversions of the most recent run, including
+        #: the final unpack when the pipeline ends in packed form.
+        self.last_conversions: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -126,7 +171,8 @@ class PassManager:
         pass contributes its name and
         :meth:`~repro.transpiler.passes.BasePass.signature`), which is what
         lets the transpile cache key on the pipeline instead of on loose
-        ``optimization_level`` integers.
+        ``optimization_level`` integers.  ``use_packed`` is excluded on
+        purpose: both paths compile identically.
         """
         hasher = hashlib.sha1(_FINGERPRINT_VERSION.encode())
         for pass_ in self._passes:
@@ -152,11 +198,28 @@ class PassManager:
         properties = property_set if property_set is not None else PropertySet()
         tracer = get_tracer()
         records: List[PassRecord] = []
-        current = circuit
+        # Dual-form state: at least one of (obj, packed) is always live and
+        # they describe the same circuit whenever both are set.
+        obj: Optional[Circuit] = circuit
+        packed: Optional[PackedCircuit] = None
+        conversions_total = 0
         for pass_ in self._passes:
-            gates_before = current.num_gates()
+            wants_packed = self.use_packed and pass_.supports_packed
+            conversions = 0
+            if wants_packed and packed is None:
+                packed = obj.packed()
+                conversions += 1
+            elif not wants_packed and obj is None:
+                obj = packed.unpack()
+                conversions += 1
+            conversions_total += conversions
+            current: "Circuit | PackedCircuit" = packed if wants_packed else obj
+            gates_before = _gate_count(current)
             started = time.perf_counter()
-            result = pass_.run(current, properties)
+            if wants_packed:
+                result = pass_.run_packed(packed, properties)
+            else:
+                result = pass_.run(obj, properties)
             elapsed = time.perf_counter() - started
             if result is None:  # analysis passes may return nothing
                 result = current
@@ -164,7 +227,16 @@ class PassManager:
                 raise TranspilerError(
                     f"analysis pass {pass_.name!r} must not replace the circuit"
                 )
-            gates_after = result.num_gates()
+            if result is not current:
+                # A transformation produced a new circuit: the other form is
+                # stale.  Identity results (analysis, no-op packed passes)
+                # keep both forms live.
+                if wants_packed:
+                    packed, obj = result, None
+                else:
+                    obj, packed = result, None
+            gates_after = _gate_count(result)
+            path = "packed" if wants_packed else "object"
             records.append(
                 PassRecord(
                     name=pass_.name,
@@ -172,31 +244,55 @@ class PassManager:
                     gates_before=gates_before,
                     gates_after=gates_after,
                     analysis=pass_.is_analysis,
+                    path=path,
+                    conversions=conversions,
                 )
             )
-            # One timing, two consumers: the PassRecord above and the
-            # telemetry layer (a completed span + latency histogram series).
-            _PASS_SECONDS.observe(elapsed, pass_name=pass_.name)
+            # One timing, three consumers: the PassRecord above, the latency
+            # histogram and a completed span — all carrying the path label,
+            # so `repro run --trace` and report() agree.
+            _PASS_SECONDS.observe(elapsed, pass_name=pass_.name, path=path)
             tracer.emit(
                 "transpiler.pass",
                 elapsed,
                 pass_name=pass_.name,
                 gates_before=gates_before,
                 gates_after=gates_after,
+                path=path,
             )
-            current = result
+        if obj is None:
+            # Pipeline ended in packed form: one final unpack (the pack is
+            # cached on the produced circuit, so fingerprint/feature
+            # consumers downstream reuse it for free).
+            obj = packed.unpack()
+            conversions_total += 1
         record_tuple = tuple(records)
         properties["pass_records"] = record_tuple
         self.last_records = record_tuple
-        return current
+        self.last_conversions = conversions_total
+        return obj
 
     # ------------------------------------------------------------------
     def report(self, records: Optional[Sequence[PassRecord]] = None) -> str:
-        """Human-readable per-pass timing table (defaults to the last run)."""
+        """Human-readable per-pass timing table (defaults to the last run).
+
+        Each row names the execution path (``packed`` / ``object``) and any
+        pack/unpack conversions its boundary performed; the trailing summary
+        line totals both, so the text report matches the ``transpiler.pass``
+        telemetry spans label for label.
+        """
         rows = records if records is not None else self.last_records
         lines = [str(record) for record in rows]
         total = sum(record.seconds for record in rows)
-        lines.append(f"{'total':<36s} {'':<9s} {total * 1e3:8.3f} ms")
+        lines.append(f"{'total':<36s} {'':<9s} {'':<6s} {total * 1e3:8.3f} ms")
+        packed_count = sum(1 for record in rows if record.path == "packed")
+        conversions = sum(record.conversions for record in rows)
+        if records is None:
+            conversions = max(conversions, self.last_conversions)
+        lines.append(
+            f"path: {packed_count} packed / {len(rows) - packed_count} object · "
+            f"{conversions} pack conversions"
+        )
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

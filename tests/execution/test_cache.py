@@ -157,3 +157,85 @@ class TestPipelineAwareKeys:
         entry = cache.get_or_transpile(_ghz(3), device, optimization_level=2)
         assert entry.pipeline == preset_pipeline(device, optimization_level=2).fingerprint
         assert entry.transpiled.pipeline_fingerprint == entry.pipeline
+
+
+class TestBatchApi:
+    def test_batch_dedups_before_counting(self):
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        entries = cache.get_or_transpile_many([_ghz(3)] * 5, device)
+        assert len(entries) == 5
+        assert all(entry is entries[0] for entry in entries)
+        # five structural duplicates: one miss, zero hits, one compile
+        assert cache.stats() == {"hits": 0, "misses": 1, "entries": 1}
+
+    def test_batch_mixes_hits_and_misses(self):
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        warm = cache.get_or_transpile(_ghz(3), device)
+        entries = cache.get_or_transpile_many([_ghz(3), _ghz(4), _ghz(4)], device)
+        assert entries[0] is warm
+        assert entries[1] is entries[2]
+        assert cache.stats() == {"hits": 1, "misses": 2, "entries": 2}
+
+    def test_batch_matches_single_lookups(self):
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        circuits = [_ghz(3), _ghz(4), _ghz(5)]
+        batch = cache.get_or_transpile_many(circuits, device)
+        singles = [cache.get_or_transpile(c, device) for c in circuits]
+        assert all(a is b for a, b in zip(batch, singles))
+
+    def test_batch_compiles_through_executor(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            entries = cache.get_or_transpile_many(
+                [_ghz(3), _ghz(4), _ghz(3)], device, executor=pool
+            )
+        assert entries[0] is entries[2]
+        assert cache.stats()["entries"] == 2
+
+    def test_batch_respects_pipeline_keys(self):
+        cache = TranspileCache()
+        device = get_device("IBM-Casablanca-7Q")
+        level1 = cache.get_or_transpile_many([_ghz(3)], device, optimization_level=1)
+        level2 = cache.get_or_transpile_many([_ghz(3)], device, optimization_level=2)
+        assert level1[0] is not level2[0]
+        assert cache.stats()["entries"] == 2
+
+
+class TestTranspileMany:
+    def test_shares_compilation_across_duplicates(self):
+        from unittest import mock
+
+        import importlib
+
+        from repro.transpiler import transpile_many
+
+        transpile_module = importlib.import_module("repro.transpiler.transpile")
+
+        device = get_device("IBM-Casablanca-7Q")
+        real = transpile_module.transpile
+        with mock.patch.object(
+            transpile_module, "transpile", side_effect=real
+        ) as spy:
+            results = transpile_many([_ghz(3), _ghz(3), _ghz(4)], device)
+        assert spy.call_count == 2  # two distinct structures
+        assert results[0] is results[1]
+        assert results[0] is not results[2]
+
+    def test_results_parallel_inputs_and_share_pipeline(self):
+        from repro.transpiler import transpile, transpile_many
+
+        device = get_device("IBM-Casablanca-7Q")
+        circuits = [_ghz(3), _ghz(4)]
+        batch = transpile_many(circuits, device, optimization_level=2)
+        singles = [transpile(c, device, optimization_level=2) for c in circuits]
+        for fast, slow in zip(batch, singles):
+            assert [
+                (i.gate.name, i.gate.params, i.qubits) for i in fast.circuit
+            ] == [(i.gate.name, i.gate.params, i.qubits) for i in slow.circuit]
+            assert fast.pipeline_fingerprint == slow.pipeline_fingerprint

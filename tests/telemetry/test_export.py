@@ -110,3 +110,37 @@ class TestChromeTrace:
 
     def test_document_is_json_serialisable(self):
         json.dumps(spans_to_chrome_trace(self._spans()))
+
+
+class TestTranspilerPathLabel:
+    """The pass-latency histogram separates packed and object executions."""
+
+    def _run_both_paths(self):
+        from repro.circuits import Circuit
+        from repro.telemetry import get_metrics
+        from repro.transpiler import DropNegligible, PassManager
+
+        circuit = Circuit(2, name="label").rz(0.5, 0).rz(1e-14, 1)
+        PassManager([DropNegligible()], use_packed=True).run(circuit)
+        PassManager([DropNegligible()], use_packed=False).run(circuit)
+        return to_prometheus(get_metrics().snapshot())
+
+    def test_histogram_carries_one_series_per_path(self):
+        text = self._run_both_paths()
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_transpiler_pass_seconds_count")
+        ]
+        packed = [line for line in lines if 'path="packed"' in line]
+        object_walk = [line for line in lines if 'path="object"' in line]
+        assert packed, "no packed-path series exported"
+        assert object_walk, "no object-path series exported"
+        assert all('pass_name="' in line for line in packed + object_walk)
+
+    def test_path_labelled_samples_match_the_grammar(self):
+        text = self._run_both_paths()
+        for line in text.splitlines():
+            if "repro_transpiler_pass_seconds" not in line or line.startswith("#"):
+                continue
+            assert _SAMPLE.match(line), line
